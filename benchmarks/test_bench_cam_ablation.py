@@ -1,0 +1,139 @@
+"""Ablation: the paper's RAM-walk information base vs a CAM.
+
+"Preliminary results indicate that information can be retrieved from
+the information base in linear time" -- the one non-constant cost in
+the whole design.  Real wire-speed MPLS hardware used CAMs (parallel
+comparators, constant-time match).  This bench measures both lookup
+structures on live RTL and prices the trade in the two currencies a
+2005 FPGA designer had: cycles and logic elements.
+
+Expected shape: the CAM wins cycles by orders of magnitude at large
+tables but its comparator array devours the Stratix fabric around a few
+hundred entries -- the design-space point that explains the paper's
+choice.
+"""
+
+from benchmarks._util import emit
+from repro.analysis.report import render_series
+from repro.core.device import STRATIX_EP1S40
+from repro.hdl.simulator import Component, Simulator
+from repro.hw.cam import (
+    CAM_SEARCH_CYCLES,
+    CAMInfoBaseLevel,
+    cam_fits,
+    cam_logic_elements,
+)
+from repro.hw.driver import ModifierDriver
+from repro.mpls.label import LabelOp
+
+SIZES = (1, 16, 64, 256, 1024)
+RTL_SIZES = (1, 16, 64)
+
+
+class _Driver(Component):
+    def __init__(self, sim):
+        super().__init__(sim, "drv")
+        self.values = {}
+
+    def set(self, wire, value):
+        self.values[wire] = value
+
+    def settle(self):
+        for wire, value in self.values.items():
+            wire.drive(value)
+
+
+def _measure_cam_lookup(n):
+    sim = Simulator()
+    drv = _Driver(sim)
+    cam = CAMInfoBaseLevel(sim, "cam", index_width=20, depth=max(n, 1))
+    for i in range(n):
+        drv.set(cam.wr_en, 1)
+        drv.set(cam.wr_index, 100 + i)
+        drv.set(cam.wr_label, 500 + i)
+        drv.set(cam.wr_op, 2)
+        sim.step()
+    drv.set(cam.wr_en, 0)
+    drv.set(cam.search_en, 1)
+    drv.set(cam.search_key, 100 + n - 1)  # the linear walk's worst slot
+    cycles = 0
+    sim.step()
+    cycles += 1
+    drv.set(cam.search_en, 0)
+    while not cam.done.value:
+        sim.step()
+        cycles += 1
+    assert cam.match_valid.value == 1
+    return cycles
+
+
+def _measure_ram_lookup(n):
+    drv = ModifierDriver(ib_depth=max(64, n))
+    drv.reset()
+    for i in range(n):
+        drv.write_pair(2, 100 + i, 500 + i, LabelOp.SWAP)
+    return drv.search(2, 100 + n - 1).cycles
+
+
+def test_cam_vs_ram_lookup_cycles_on_rtl(benchmark):
+    def sweep():
+        return [
+            (n, _measure_ram_lookup(n), _measure_cam_lookup(n))
+            for n in RTL_SIZES
+        ]
+
+    points = benchmark.pedantic(sweep, iterations=1, rounds=2)
+    for n, ram, cam in points:
+        assert ram == 3 * (n - 1) + 8  # worst-position hit
+        assert cam == 1                # registered one edge after the key
+    emit(
+        "cam_vs_ram_rtl",
+        render_series(
+            "entries",
+            ["RAM walk cycles (measured)", "CAM cycles (measured)"],
+            points,
+            title="Worst-position lookup on live RTL: RAM walk vs CAM",
+        ),
+    )
+
+
+def test_cam_vs_ram_design_space(benchmark):
+    """Cycles and area together: why the paper walked RAM."""
+
+    def build():
+        rows = []
+        for n in SIZES:
+            ram_cycles = 3 * n + 5
+            cam_cycles = CAM_SEARCH_CYCLES
+            les = cam_logic_elements(n)
+            rows.append(
+                [
+                    n,
+                    ram_cycles,
+                    cam_cycles,
+                    les,
+                    f"{les / STRATIX_EP1S40.logic_elements:.0%}",
+                    "yes" if cam_fits(n) else "NO",
+                ]
+            )
+        return rows
+
+    rows = benchmark(build)
+    emit(
+        "cam_design_space",
+        render_series(
+            "entries",
+            ["RAM cycles (3n+5)", "CAM cycles", "CAM logic elements",
+             "of EP1S40 fabric", "CAM feasible?"],
+            rows,
+            title="The information-base design space on the paper's "
+            "device",
+        ),
+    )
+    # shape: the paper's 1K-entry table cannot afford a CAM on this
+    # device, while small tables could
+    by_n = {r[0]: r for r in rows}
+    assert by_n[1024][5] == "NO"
+    assert by_n[64][5] == "yes"
+    # but wherever it fits, the CAM wins cycles outright
+    assert all(r[2] < r[1] for r in rows)

@@ -1,0 +1,53 @@
+"""Reproduces **Figure 15**: simulation of level-2 label pair entries.
+
+"Figure [15] illustrates a similar scenario to Figure [14] but label
+pairs are entered for level 2 as opposed to level 1.  The old label
+values take values 1 through 10 inclusive while the new label values go
+from 500 to 509 inclusive.  Signal values for w_index and r_index
+iterate so all values are written and the correct values are read.
+Once again the lookup_done signal goes high after the read attempt and
+the packetdiscard signal remains low."
+"""
+
+from benchmarks._util import emit
+from repro.analysis.report import render_table
+from repro.hw.driver import ModifierDriver
+from repro.mpls.label import LabelOp
+
+OPS = [LabelOp.PUSH, LabelOp.SWAP, LabelOp.POP]
+
+
+def run_figure15():
+    drv = ModifierDriver(ib_depth=1024)
+    drv.reset()
+    for i in range(10):
+        drv.write_pair(2, i + 1, 500 + i, OPS[i % 3])
+    lookups = [drv.search(2, old) for old in range(1, 11)]
+    return drv, lookups
+
+
+def test_figure15_level2_write_and_lookup(benchmark):
+    drv, lookups = benchmark.pedantic(run_figure15, iterations=1, rounds=3)
+
+    # every stored pair reads back correctly
+    rows = []
+    for old, result in zip(range(1, 11), lookups):
+        assert result.found
+        assert result.label == 500 + (old - 1)
+        assert not result.discarded
+        # a hit at position k costs 3k + 8
+        assert result.cycles == 3 * (old - 1) + 8
+        rows.append([old, result.label, result.op.name, result.cycles])
+
+    # w_index reached 10: all pairs stored, none overwritten
+    assert drv.modifier.dp.info_base.level(2).count == 10
+    # level 1 untouched: the levels are independent memories
+    assert drv.modifier.dp.info_base.level(1).count == 0
+
+    table = render_table(
+        ["old label", "label_out", "operation_out", "lookup cycles"],
+        rows,
+        title="Figure 15 -- level-2 label pairs: every lookup succeeds, "
+        "packetdiscard stays low",
+    )
+    emit("fig15_level2", table)

@@ -1,0 +1,86 @@
+"""Reproduces **Figure 16**: simulation of a packet discard.
+
+"Figure [16] demonstrates a situation where a label lookup occurs for a
+label that does not exist in the information base.  The inputs are the
+same as those for Figure [15] but the label_lookup signal is changed to
+27 and there are only labels for numbers 1 through 10 inclusive.  When
+the lookup signal is made high, we see that the r_index signal iterates
+to process all label pairs stored at that level.  After processing the
+last stored pair, no match has been found so the lookup_done and
+packetdiscard signals are sent high ... Signals label_out and
+operation_out remain unchanged."
+"""
+
+from benchmarks._util import emit
+from repro.analysis.report import render_table
+from repro.hdl.waveform import WaveformRecorder
+from repro.hw.driver import ModifierDriver
+from repro.mpls.label import LabelOp
+
+OPS = [LabelOp.PUSH, LabelOp.SWAP, LabelOp.POP]
+
+
+def run_figure16():
+    drv = ModifierDriver(ib_depth=1024)
+    drv.reset()
+    for i in range(10):
+        drv.write_pair(2, i + 1, 500 + i, OPS[i % 3])
+    # prime label_out/operation_out with a successful lookup so
+    # "remain unchanged" is observable
+    hit = drv.search(2, 5)
+    level2 = drv.modifier.dp.info_base.level(2)
+    recorder = WaveformRecorder(
+        drv.sim,
+        [
+            drv.sim.signal(level2.read_counter.count.name),
+            drv.sim.signal(drv.modifier.search.done.name),
+            drv.sim.signal(drv.modifier.search.miss.name),
+        ],
+    )
+    miss = drv.search(2, 27)
+    label_out = drv.modifier.search.label_out.value
+    op_out = drv.modifier.search.op_out.value
+    return drv, recorder, hit, miss, label_out, op_out
+
+
+def test_figure16_lookup_miss_discards(benchmark):
+    drv, recorder, hit, miss, label_out, op_out = benchmark.pedantic(
+        run_figure16, iterations=1, rounds=3
+    )
+
+    # the miss is reported with lookup_done AND packetdiscard high
+    assert not miss.found
+    assert miss.discarded
+    done = recorder.trace[drv.modifier.search.done.name]
+    discard = recorder.trace[drv.modifier.search.miss.name]
+    done_cycles = [c for c, v in zip(recorder.cycles, done) if v]
+    discard_cycles = [c for c, v in zip(recorder.cycles, discard) if v]
+    assert done_cycles == discard_cycles  # raised together
+    assert len(done_cycles) == 1
+
+    # "r_index iterates to process all label pairs stored at that
+    # level" -- it reaches the last entry (index 9)
+    r_name = drv.modifier.dp.info_base.level(2).read_counter.count.name
+    assert max(recorder.trace[r_name]) == 9
+
+    # exhaustive scan of n=10: 3n + 5 cycles
+    assert miss.cycles == 35
+
+    # "label_out and operation_out remain unchanged" from the primed hit
+    assert label_out == hit.label
+    assert op_out == int(hit.op)
+
+    table = render_table(
+        ["observable", "paper", "measured"],
+        [
+            ["lookup target", "27 (absent)", "27 (absent)"],
+            ["r_index sweep", "all 10 pairs", f"0..{max(recorder.trace[r_name])}"],
+            ["lookup_done", "high", f"pulse at cycle {done_cycles[0]}"],
+            ["packetdiscard", "high", f"pulse at cycle {discard_cycles[0]}"],
+            ["label_out", "unchanged", f"{label_out} (== prior hit)"],
+            ["operation_out", "unchanged", f"{op_out} (== prior hit)"],
+            ["cycles", "3n+5 = 35", miss.cycles],
+        ],
+        title="Figure 16 -- lookup of an absent label discards the packet",
+    )
+    emit("fig16_discard", table)

@@ -1,0 +1,116 @@
+"""Ablation: control-plane convergence of message-level LDP.
+
+The hardware forwards in nanoseconds, but an LSP only exists after the
+software control plane converges.  This bench measures, with real
+messages over per-link propagation delays, how session setup and
+ordered label distribution scale with topology diameter -- the
+"software side" cost of the paper's hardware/software split.
+"""
+
+from benchmarks._util import emit
+from repro.analysis.report import render_series, render_table
+from repro.control.ldp_sessions import MessageLDPProcess, MsgType
+from repro.mpls.fec import PrefixFEC
+from repro.mpls.router import LSRNode, RouterRole
+from repro.net.events import EventScheduler
+from repro.net.topology import line, ring
+
+LINK_DELAY = 1e-3
+
+
+def _converge_line(n):
+    topo = line(n, delay_s=LINK_DELAY)
+    edge = {f"n0", f"n{n-1}"}
+    nodes = {
+        name: LSRNode(
+            name, RouterRole.LER if name in edge else RouterRole.LSR
+        )
+        for name in topo.nodes
+    }
+    scheduler = EventScheduler()
+    ldp = MessageLDPProcess(topo, nodes, scheduler)
+    ldp.start()
+    scheduler.run(until=1.0)
+    assert ldp.all_sessions_up()
+    session_msgs = ldp.total_messages
+    ldp.announce_fec("f", PrefixFEC("10.9.0.0/16"), egress=f"n{n-1}")
+    scheduler.run(until=2.0)
+    assert ldp.converged("f")
+    mapping_msgs = ldp.message_counts[MsgType.LABEL_MAPPING]
+    return session_msgs, mapping_msgs, ldp.convergence_time("f")
+
+
+def test_convergence_vs_diameter(benchmark):
+    def sweep():
+        rows = []
+        for n in (3, 5, 9, 17):
+            session_msgs, mapping_msgs, conv = _converge_line(n)
+            rows.append(
+                [n - 1, session_msgs, mapping_msgs,
+                 round(conv * 1e3, 3)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=2)
+    emit(
+        "ldp_convergence",
+        render_series(
+            "diameter (hops)",
+            ["session msgs", "mapping msgs", "distribution time (ms)"],
+            rows,
+            title="Message-level LDP convergence on line topologies "
+            f"({LINK_DELAY * 1e3:g} ms links)",
+        ),
+    )
+    # shape: ordered distribution is one propagation per hop, so the
+    # convergence time grows linearly with the diameter
+    times = [r[3] for r in rows]
+    assert times == sorted(times)
+    hops = [r[0] for r in rows]
+    per_hop = [t / h for t, h in zip(times, hops)]
+    assert max(per_hop) - min(per_hop) < 0.5  # ~constant ms/hop
+
+    # message complexity: downstream-unsolicited advertises to every
+    # session peer, so a line of h hops carries 2h mappings
+    # (1 from each end + 2 from each of the h-1 middle nodes)
+    for (hop_count, _s, mapping, _t) in rows:
+        assert mapping == 2 * hop_count
+
+
+def test_distribution_order_is_egress_first(benchmark):
+    """Ordered control: forwarding state appears from the egress
+    backwards, so a partially distributed LSP is never blackholed at
+    its tail."""
+
+    def run():
+        topo = ring(8, delay_s=LINK_DELAY)
+        nodes = {
+            name: LSRNode(
+                name,
+                RouterRole.LER if name in ("n0", "n4") else RouterRole.LSR,
+            )
+            for name in topo.nodes
+        }
+        scheduler = EventScheduler()
+        ldp = MessageLDPProcess(topo, nodes, scheduler)
+        ldp.start()
+        scheduler.run(until=1.0)
+        state = ldp.announce_fec("f", PrefixFEC("10.9.0.0/16"), egress="n4")
+        scheduler.run(until=2.0)
+        return ldp, state
+
+    ldp, state = benchmark.pedantic(run, iterations=1, rounds=2)
+    assert ldp.converged("f")
+    times = state.installed_at
+    # every node installed after its downstream neighbour on the ring
+    lsdb_times = sorted(times.items(), key=lambda kv: kv[1])
+    assert lsdb_times[0][0] == "n4"  # egress first
+    rows = [[name, round(t * 1e3, 3)] for name, t in lsdb_times]
+    emit(
+        "ldp_ordered_install",
+        render_table(
+            ["node", "install time (ms)"],
+            rows,
+            title="Ordered label distribution on an 8-ring (egress n4)",
+        ),
+    )

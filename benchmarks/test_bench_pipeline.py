@@ -1,0 +1,47 @@
+"""Ablation: sequential vs pipelined operation of Figure 6.
+
+The paper's conclusion: the architecture "can be implemented to achieve
+optimal performance of MPLS".  Figure 6's three modules (ingress packet
+processing, label stack modifier, egress packet processing) pipeline
+naturally; this bench quantifies what that future-work step buys at
+each table size -- and shows that once the linear search dominates, the
+modifier stage *is* the pipeline and the gain evaporates.
+"""
+
+from benchmarks._util import emit
+from repro.analysis.report import render_series
+from repro.core.pipeline import compare_pipeline
+
+
+def test_pipeline_speedup_vs_table_size(benchmark):
+    cmp = benchmark(compare_pipeline, table_sizes=(1, 4, 16, 64, 256, 1024))
+    rows = []
+    for p in cmp.points:
+        seq_pps = cmp.throughput_pps(p, pipelined=False)
+        pipe_pps = cmp.throughput_pps(p, pipelined=True)
+        rows.append(
+            [
+                p.n_entries,
+                p.sequential_cycles_per_packet,
+                p.pipelined_cycles_per_packet,
+                int(seq_pps),
+                int(pipe_pps),
+                f"{p.speedup:.2f}x",
+            ]
+        )
+    emit(
+        "pipeline_speedup",
+        render_series(
+            "IB entries",
+            ["sequential cyc/pkt", "pipelined cyc/pkt",
+             "sequential pps", "pipelined pps", "speedup"],
+            rows,
+            title="Figure 6 run sequentially vs as a 3-stage pipeline "
+            "(50 MHz)",
+        ),
+    )
+    speedups = [p.speedup for p in cmp.points]
+    # shape: meaningful gain for small tables, none once search dominates
+    assert speedups[0] > 1.5
+    assert speedups[-1] < 1.01
+    assert speedups == sorted(speedups, reverse=True)

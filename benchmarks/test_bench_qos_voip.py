@@ -1,0 +1,112 @@
+"""Ablation: the paper's QoS motivation, measured.
+
+Section 1: "Resource intensive Internet applications like voice over
+Internet Protocol (VoIP) and real-time streaming video perform poorly
+when the core network of the Internet is relatively congested. ...
+Long term relief can only be achieved through efficient prioritization
+of network resources and traffic."
+
+The bench congests the Figure 1 network with elastic data and measures
+a G.711 voice flow under three queue disciplines: FIFO (best effort),
+strict priority on the CoS bits, and WFQ.  Expected shape: best effort
+loses voice packets and inflates latency by an order of magnitude;
+either CoS-aware discipline keeps voice lossless with near-floor
+latency.
+"""
+
+import pytest
+
+from benchmarks._util import emit
+from repro.analysis.report import render_table
+from repro.control.ldp import LDPProcess
+from repro.mpls.fec import CoSFEC, PrefixFEC
+from repro.mpls.router import RouterRole
+from repro.net.network import MPLSNetwork
+from repro.net.topology import paper_figure1
+from repro.net.traffic import CBRSource, DSCP_EF, VoIPSource
+from repro.qos.scheduler import PriorityScheduler, WFQScheduler
+
+DURATION = 1.0
+LINK_BPS = 2e6
+
+
+def run_discipline(queue_factory):
+    topo = paper_figure1(bandwidth_bps=LINK_BPS, delay_s=1e-3)
+    kwargs = {"queue_factory": queue_factory} if queue_factory else {}
+    net = MPLSNetwork(
+        topo,
+        roles={"ler-a": RouterRole.LER, "ler-b": RouterRole.LER},
+        **kwargs,
+    )
+    net.attach_host("ler-b", "10.2.0.0/16")
+    ldp = LDPProcess(topo, net.nodes)
+    ldp.establish_fec(PrefixFEC("10.2.0.0/16"), egress="ler-b")
+    ldp.establish_fec(CoSFEC(PrefixFEC("10.2.0.0/16"), DSCP_EF),
+                      egress="ler-b")
+    sink = net.source_sink("ler-a")
+    voice = VoIPSource(net.scheduler, sink, src="10.1.0.5",
+                       dst="10.2.0.9", stop=DURATION)
+    data = CBRSource(net.scheduler, sink, src="10.1.0.7", dst="10.2.0.11",
+                     rate_bps=2 * LINK_BPS, packet_size=1000, stop=DURATION)
+    voice.begin()
+    data.begin()
+    net.run(until=DURATION + 2.0)
+    delivered = net.delivered_count(voice.flow_id)
+    latencies = net.latencies(voice.flow_id)
+    loss = 1 - delivered / voice.sent
+    mean_ms = sum(latencies) / len(latencies) * 1e3 if latencies else 0.0
+    worst_ms = max(latencies) * 1e3 if latencies else 0.0
+    data_loss = 1 - net.delivered_count(data.flow_id) / data.sent
+    return {
+        "voice_sent": voice.sent,
+        "voice_loss": loss,
+        "voice_mean_ms": mean_ms,
+        "voice_worst_ms": worst_ms,
+        "data_loss": data_loss,
+    }
+
+
+def test_voip_under_congestion(benchmark):
+    def run_all():
+        return {
+            "best effort (FIFO)": run_discipline(None),
+            "strict priority": run_discipline(
+                lambda: PriorityScheduler(capacity_per_class=64)
+            ),
+            "WFQ (voice weight 8)": run_discipline(
+                lambda: WFQScheduler(weights={5: 8.0}, capacity_per_class=64)
+            ),
+        }
+
+    results = benchmark.pedantic(run_all, iterations=1, rounds=2)
+    rows = [
+        [
+            name,
+            f"{r['voice_loss'] * 100:.1f}%",
+            round(r["voice_mean_ms"], 2),
+            round(r["voice_worst_ms"], 2),
+            f"{r['data_loss'] * 100:.1f}%",
+        ]
+        for name, r in results.items()
+    ]
+    emit(
+        "qos_voip",
+        render_table(
+            ["discipline", "voice loss", "voice mean ms", "voice worst ms",
+             "data loss"],
+            rows,
+            title="G.711 voice over a congested core (2 Mbps links, 2x "
+            "overload)",
+        ),
+    )
+
+    fifo = results["best effort (FIFO)"]
+    prio = results["strict priority"]
+    wfq = results["WFQ (voice weight 8)"]
+    # shape: best effort hurts voice badly; CoS-aware disciplines fix it
+    assert fifo["voice_loss"] > 0.2
+    assert prio["voice_loss"] == 0.0
+    assert wfq["voice_loss"] == pytest.approx(0.0, abs=0.02)
+    assert prio["voice_mean_ms"] < fifo["voice_mean_ms"] / 5
+    # the elastic data flow still pays for the overload in every case
+    assert prio["data_loss"] > 0.2

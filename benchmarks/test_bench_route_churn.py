@@ -1,0 +1,70 @@
+"""Ablation: route churn vs forwarding -- sharing one modifier.
+
+The paper's architecture funnels both planes through the label stack
+modifier: packets run updates, the software control plane runs
+write/modify/remove operations on the same information base.  This
+bench measures (on the functional model, formulas verified against the
+RTL) how many route changes per second the modifier can absorb at a
+given forwarding load -- the headroom an operator has for LSP churn.
+"""
+
+from benchmarks._util import emit
+from repro.analysis.report import render_series
+from repro.core.device import STRATIX_EP1S40
+from repro.hw.model import FunctionalModifier, search_cycles
+from repro.mpls.label import LabelEntry, LabelOp
+
+TABLE = 64
+PACKET_RATES = (0, 50_000, 200_000, 500_000)
+
+
+def _measured_costs():
+    """Per-operation cycles measured live on the functional model."""
+    model = FunctionalModifier(ib_depth=TABLE)
+    for i in range(TABLE):
+        model.write_pair(1, 1000 + i, 500 + i, LabelOp.SWAP)
+    # a representative packet: depth-1 swap, mid-table hit
+    model.user_push(LabelEntry(label=1000 + TABLE // 2, ttl=9, s=1))
+    packet = model.update().cycles + 6  # + stack load/drain
+    modify = model.modify_pair(1, 1000 + TABLE // 2, 777, LabelOp.SWAP).cycles
+    remove = model.remove_pair(1, 1000 + 3, ).cycles
+    add = model.write_pair(1, 2000, 900, LabelOp.SWAP)
+    return packet, add, modify, remove
+
+
+def test_route_churn_headroom(benchmark):
+    packet_cycles, add, modify, remove = benchmark(_measured_costs)
+    clock = STRATIX_EP1S40.clock_hz
+    mean_change = (add + modify + remove) / 3
+    rows = []
+    for rate in PACKET_RATES:
+        data_cycles = rate * packet_cycles
+        headroom = max(0.0, clock - data_cycles)
+        changes_per_s = headroom / mean_change
+        rows.append(
+            [
+                rate,
+                packet_cycles,
+                f"{data_cycles / clock:.1%}",
+                int(changes_per_s),
+            ]
+        )
+    emit(
+        "route_churn",
+        render_series(
+            "packets/s forwarded",
+            ["cycles/packet", "modifier busy", "route changes/s headroom"],
+            rows,
+            title=f"Control-plane churn headroom at 50 MHz "
+            f"({TABLE}-entry table; change = avg of add "
+            f"{add}/modify {modify}/remove {remove} cycles)",
+        ),
+    )
+    # sanity on the measured costs (formula cross-check)
+    k = TABLE // 2
+    assert modify == search_cycles(TABLE, k) + 2
+    assert add == 3
+    # shape: headroom shrinks monotonically with forwarding load
+    headrooms = [r[3] for r in rows]
+    assert headrooms == sorted(headrooms, reverse=True)
+    assert headrooms[0] > headrooms[-1]

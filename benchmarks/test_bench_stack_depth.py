@@ -1,0 +1,117 @@
+"""Ablation: label stack depth.
+
+"A typical MPLS network does not use more than two or three levels of
+nested paths and consequently, label stacks do not normally exceed two
+or three labels" -- which is why the hardware supports exactly three
+information-base levels.  This bench measures the cost of an update at
+each supported depth on the RTL (the depth selects the level searched)
+and the software engine's cost as stacks deepen, justifying the
+3-level hardware budget.
+"""
+
+from benchmarks._util import emit
+from repro.analysis.report import render_series
+from repro.hw.driver import ModifierDriver
+from repro.mpls.forwarding import ForwardingEngine
+from repro.mpls.label import LabelEntry, LabelOp
+from repro.mpls.nhlfe import NHLFE
+from repro.mpls.stack import LabelStack
+from repro.net.packet import IPv4Packet, MPLSPacket
+
+PAIRS_PER_LEVEL = 8
+
+
+def test_update_cost_per_stack_depth_on_rtl(benchmark):
+    """A swap at depth d searches level d; with equal level occupancy
+    the cost is depth-independent -- the paper's per-level memory
+    design keeps deep stacks as fast as shallow ones."""
+
+    def sweep():
+        points = []
+        for depth in (1, 2, 3):
+            drv = ModifierDriver(ib_depth=64)
+            drv.reset()
+            # equal occupancy at every level; the top label's pair is
+            # stored last (worst-case position)
+            for level in (1, 2, 3):
+                for i in range(PAIRS_PER_LEVEL - 1):
+                    drv.write_pair(level, 5000 + i, 600, LabelOp.SWAP)
+                drv.write_pair(level, 400 + level, 900 + level, LabelOp.SWAP)
+            for position in range(depth):
+                label = 400 + depth - position  # top ends up 400+depth... bottom 401
+                drv.user_push(
+                    LabelEntry(label=401 + position, ttl=20,
+                               s=1 if position == 0 else 0)
+                )
+            # after the pushes the top label is 400+depth
+            result = drv.update()
+            assert result.performed == LabelOp.SWAP, result
+            points.append((depth, result.cycles))
+        return points
+
+    points = benchmark.pedantic(sweep, iterations=1, rounds=2)
+    emit(
+        "stack_depth_rtl",
+        render_series(
+            "stack depth",
+            ["update cycles (worst-position hit, 8 pairs/level)"],
+            points,
+            title="Update cost vs stack depth on the RTL",
+        ),
+    )
+    # depth-independence: every depth costs the same
+    costs = {c for _, c in points}
+    assert len(costs) == 1
+
+
+def test_software_cost_grows_with_depth(benchmark):
+    """The software engine re-touches the stack on every push/pop, so
+    tunnel churn costs grow with depth."""
+
+    def run():
+        rows = []
+        for depth in (1, 2, 3):
+            engine = ForwardingEngine(node_name="sw")
+            engine.ilm.install(
+                500, NHLFE(op=LabelOp.SWAP, out_label=501, next_hop="x")
+            )
+            entries = [LabelEntry(label=500, ttl=30)] + [
+                LabelEntry(label=600 + i, ttl=30) for i in range(depth - 1)
+            ]
+            packet = MPLSPacket(
+                LabelStack(entries),
+                IPv4Packet(src="1.1.1.1", dst="2.2.2.2"),
+            )
+            engine.reset_counts()
+            for _ in range(1000):
+                engine.transit(packet)
+            rows.append([depth, engine.counts.swaps, engine.counts.ttl_updates])
+        return rows
+
+    rows = benchmark(run)
+    emit(
+        "stack_depth_software",
+        render_series(
+            "stack depth",
+            ["sw swaps / 1000 pkts", "sw TTL updates / 1000 pkts"],
+            rows,
+            title="Software engine work vs stack depth",
+        ),
+    )
+    assert all(row[1] == 1000 for row in rows)
+
+
+def test_fourth_level_is_rejected(benchmark):
+    """Beyond three levels the hardware refuses: the depth budget is a
+    hard architectural limit, not a soft convention."""
+
+    def run():
+        drv = ModifierDriver(ib_depth=16)
+        drv.reset()
+        drv.write_pair(1, 999, 1000, LabelOp.PUSH)
+        for i, label in enumerate((500, 600, 999)):
+            drv.user_push(LabelEntry(label=label, ttl=9, s=1 if i == 0 else 0))
+        return drv.update()  # a PUSH at depth 3 would make 4
+
+    result = benchmark.pedantic(run, iterations=1, rounds=2)
+    assert result.discarded

@@ -1,0 +1,86 @@
+"""Reproduces the paper's **Section 4 worst-case scenario**.
+
+"Assuming that there are no delays between operations, the worst case
+number of cycles required to reset the architecture, push three stack
+entries, fill an entire level with 1024 label pairs and perform a swap
+would be 6167 cycles.  Therefore, an FPGA like the Altera Stratix
+EP1S40F780C5 with a 50MHz clock could perform those operations in
+approximately [0.123] ms."
+
+Measured three ways: the closed-form model, the fast functional model,
+and the full cycle-accurate RTL -- all three must agree at 6167.
+"""
+
+import pytest
+
+from benchmarks._util import emit
+from repro.analysis.report import render_table
+from repro.core.device import STRATIX_EP1S40
+from repro.core.timing import worst_case_scenario
+from repro.hw.driver import ModifierDriver
+from repro.hw.model import FunctionalModifier
+from repro.mpls.label import LabelEntry, LabelOp
+
+PAPER_TOTAL = 6167
+PAPER_MS = 0.1233
+
+
+def _run_composite(modifier):
+    """reset + 3 pushes + 1024 level-3 writes + swap with a worst-case
+    (last position) search."""
+    total = modifier.reset()
+    for i, label in enumerate((100, 200, 300)):
+        total += modifier.user_push(
+            LabelEntry(label=label, ttl=9, s=1 if i == 0 else 0)
+        )
+    for i in range(1023):
+        total += modifier.write_pair(3, 1000 + i, 500, LabelOp.SWAP)
+    # the matching pair is written last, so the search scans all 1024
+    total += modifier.write_pair(3, 300, 999, LabelOp.SWAP)
+    result = modifier.update()
+    total += result.cycles
+    assert result.performed == LabelOp.SWAP
+    assert not result.discarded
+    return total
+
+
+def test_worst_case_analytic_model(benchmark):
+    wc = benchmark(worst_case_scenario)
+    rows = list(wc.as_rows())
+    rows.append(("time at 50 MHz", f"{wc.seconds * 1e3:.4f} ms"))
+    emit(
+        "worst_case_breakdown",
+        render_table(
+            ["component", "cycles"],
+            rows,
+            title="Section 4 worst case -- analytic breakdown (paper: 6167 "
+            "cycles, ~0.1233 ms)",
+        ),
+    )
+    assert wc.total == PAPER_TOTAL
+    assert wc.seconds * 1e3 == pytest.approx(PAPER_MS, abs=5e-4)
+
+
+def test_worst_case_functional_model(benchmark):
+    total = benchmark(_run_composite, FunctionalModifier(ib_depth=1024))
+    assert total == PAPER_TOTAL
+
+
+def test_worst_case_rtl(benchmark):
+    def run():
+        return _run_composite(ModifierDriver(ib_depth=1024))
+
+    total = benchmark.pedantic(run, iterations=1, rounds=2)
+    assert total == PAPER_TOTAL
+    seconds = STRATIX_EP1S40.time_for_cycles(total)
+    emit(
+        "worst_case_rtl",
+        render_table(
+            ["source", "cycles", "time at 50 MHz (ms)"],
+            [
+                ["paper", PAPER_TOTAL, PAPER_MS],
+                ["RTL (measured)", total, round(seconds * 1e3, 4)],
+            ],
+            title="Worst case composite: paper vs cycle-accurate RTL",
+        ),
+    )

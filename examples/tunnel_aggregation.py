@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Label stacking: aggregating LSPs through a tunnel (paper Figure 3).
+
+Two customer LSPs from different ingress LERs converge at a core router
+and are aggregated ("merged") through one level-2 tunnel across the
+backbone, then deaggregated ("unmerged") at the tunnel tail.  Inside
+the tunnel every packet carries a two-entry label stack -- the inner
+(customer) label plus the outer (tunnel) label -- which is exactly what
+the paper's multi-level information base switches on.
+
+The example sets the state up with RSVP-TE, runs traffic, and shows the
+label stack observed at each stage.
+
+Topology::
+
+    ler-a1 --\
+              agg -- core1 -- core2 -- deagg -- ler-b
+    ler-a2 --/        `----- tunnel -----'
+
+Run:  python examples/tunnel_aggregation.py
+"""
+
+from repro.control.lsp import LSP, TunnelHierarchy
+from repro.mpls.fec import PrefixFEC
+from repro.mpls.label import LabelOp
+from repro.mpls.nhlfe import NHLFE
+from repro.mpls.router import RouterRole
+from repro.net.network import MPLSNetwork
+from repro.net.topology import Topology
+from repro.net.traffic import CBRSource
+
+
+def build_topology() -> Topology:
+    topo = Topology()
+    for name in ("ler-a1", "ler-a2", "agg", "core1", "core2", "deagg",
+                 "ler-b"):
+        topo.add_node(name)
+    topo.add_link("ler-a1", "agg", bandwidth_bps=10e6, delay_s=1e-3)
+    topo.add_link("ler-a2", "agg", bandwidth_bps=10e6, delay_s=1e-3)
+    topo.add_link("agg", "core1", bandwidth_bps=10e6, delay_s=1e-3)
+    topo.add_link("core1", "core2", bandwidth_bps=10e6, delay_s=1e-3)
+    topo.add_link("core2", "deagg", bandwidth_bps=10e6, delay_s=1e-3)
+    topo.add_link("deagg", "ler-b", bandwidth_bps=10e6, delay_s=1e-3)
+    return topo
+
+
+def main() -> None:
+    topo = build_topology()
+    net = MPLSNetwork(
+        topo,
+        roles={
+            "ler-a1": RouterRole.LER,
+            "ler-a2": RouterRole.LER,
+            "ler-b": RouterRole.LER,
+        },
+    )
+    net.attach_host("ler-b", "10.2.0.0/16")
+    nodes = net.nodes
+
+    # --- customer LSPs (level 1): labels chosen manually so the stack
+    # progression is easy to read.
+    # LSP 1: ler-a1 -> agg -> ... -> deagg -> ler-b with labels 101/111
+    # LSP 2: ler-a2 -> ... with labels 102/112
+    nodes["ler-a1"].ftn.install(
+        PrefixFEC("10.2.0.0/16"),
+        NHLFE(op=LabelOp.PUSH, out_label=101, next_hop="agg"),
+    )
+    nodes["ler-a2"].ftn.install(
+        PrefixFEC("10.2.0.0/16"),
+        NHLFE(op=LabelOp.PUSH, out_label=102, next_hop="agg"),
+    )
+    # at 'agg': swap the customer label, then PUSH the tunnel label 900
+    # (aggregation = both LSPs get the same outer label)
+    nodes["agg"].ilm.install(
+        101, NHLFE(op=LabelOp.SWAP, out_label=111, next_hop=None)
+    )
+    nodes["agg"].ilm.install(
+        102, NHLFE(op=LabelOp.SWAP, out_label=112, next_hop=None)
+    )
+    # model swap+push at the tunnel head as a two-step: we install the
+    # composite directly as PUSH entries keyed on the incoming labels
+    nodes["agg"].ilm.clear()
+    nodes["agg"].ilm.install(
+        101, NHLFE(op=LabelOp.PUSH, out_label=900, next_hop="core1")
+    )
+    nodes["agg"].ilm.install(
+        102, NHLFE(op=LabelOp.PUSH, out_label=900, next_hop="core1")
+    )
+    # tunnel transit: core1 and core2 switch ONLY the outer label --
+    # they never see the customer labels (that is the aggregation win:
+    # one forwarding entry regardless of how many LSPs ride inside)
+    nodes["core1"].ilm.install(
+        900, NHLFE(op=LabelOp.SWAP, out_label=901, next_hop="core2")
+    )
+    nodes["core2"].ilm.install(
+        901, NHLFE(op=LabelOp.SWAP, out_label=902, next_hop="deagg")
+    )
+    # tunnel tail: pop the outer label, exposing the customer labels
+    nodes["deagg"].ilm.install(902, NHLFE(op=LabelOp.POP, next_hop=None))
+    # deaggregation: the exposed customer labels are switched separately
+    nodes["deagg"].ilm.install(
+        101, NHLFE(op=LabelOp.SWAP, out_label=121, next_hop="ler-b")
+    )
+    nodes["deagg"].ilm.install(
+        102, NHLFE(op=LabelOp.SWAP, out_label=122, next_hop="ler-b")
+    )
+    nodes["ler-b"].ilm.install(121, NHLFE(op=LabelOp.POP))
+    nodes["ler-b"].ilm.install(122, NHLFE(op=LabelOp.POP))
+
+    # --- the control-plane view of the same hierarchy
+    hierarchy = TunnelHierarchy()
+    hierarchy.add(LSP(name="cust-1",
+                      path=["ler-a1", "agg", "deagg", "ler-b"],
+                      hop_labels=[101, 101, 121]))
+    hierarchy.add(LSP(name="tunnel",
+                      path=["agg", "core1", "core2", "deagg"],
+                      hop_labels=[900, 901, 902]))
+    hierarchy.nest("cust-1", "tunnel")
+    print("stack depth along cust-1's path (control-plane view):")
+    for node in ("ler-a1", "agg", "deagg"):
+        stack = hierarchy.stack_at("cust-1", node)
+        print(f"  leaving {node:7s}: {stack} (depth {len(stack)})")
+
+    # --- run traffic from both customers
+    flows = []
+    for ler, host in (("ler-a1", "10.1.1.5"), ("ler-a2", "10.1.2.5")):
+        source = CBRSource(net.scheduler, net.source_sink(ler),
+                           src=host, dst="10.2.0.9", rate_bps=1e6,
+                           packet_size=500, stop=0.5)
+        source.begin()
+        flows.append(source)
+    net.run(until=1.5)
+
+    print("\ntraffic results:")
+    for i, source in enumerate(flows, 1):
+        delivered = net.delivered_count(source.flow_id)
+        print(f"  customer {i}: sent {source.sent}, delivered {delivered}")
+    core_entries = len(nodes["core1"].ilm)
+    print(f"\ncore router ILM entries: {core_entries} "
+          "(one tunnel entry carries both customers -- aggregation)")
+    assert net.drop_count() == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""VoIP over a congested MPLS core: the paper's motivating scenario.
+
+Section 1 of the paper: "Resource intensive Internet applications like
+voice over Internet Protocol (VoIP) and real-time streaming video
+perform poorly when the core network of the Internet is relatively
+congested. ... Long term relief can only be achieved through efficient
+prioritization of network resources and traffic."
+
+This example runs that claim: a G.711 voice call and a video stream
+share 2 Mbit/s links with an aggressive data flow, twice --
+
+1. **best effort**: one FIFO per link; everyone suffers together,
+2. **CoS-aware**: EF-marked voice and AF41 video ride LSPs whose CoS
+   bits drive a strict-priority scheduler at every hop.
+
+Run:  python examples/voip_qos.py
+"""
+
+from repro.analysis.report import render_table
+from repro.control.ldp import LDPProcess
+from repro.mpls.fec import CoSFEC, PrefixFEC
+from repro.mpls.router import RouterRole
+from repro.net.network import MPLSNetwork
+from repro.net.topology import paper_figure1
+from repro.net.traffic import (
+    CBRSource,
+    DSCP_AF41,
+    DSCP_EF,
+    VideoSource,
+    VoIPSource,
+)
+from repro.qos.scheduler import PriorityScheduler
+
+DURATION = 2.0
+
+
+def run_scenario(queue_factory=None):
+    topology = paper_figure1(bandwidth_bps=2e6, delay_s=1e-3)
+    kwargs = {"queue_factory": queue_factory} if queue_factory else {}
+    network = MPLSNetwork(
+        topology,
+        roles={"ler-a": RouterRole.LER, "ler-b": RouterRole.LER},
+        **kwargs,
+    )
+    network.attach_host("ler-b", "10.2.0.0/16")
+
+    ldp = LDPProcess(topology, network.nodes)
+    # one FEC per class: CoS-qualified FECs are more specific, so the
+    # marked traffic matches them first
+    ldp.establish_fec(PrefixFEC("10.2.0.0/16"), egress="ler-b")
+    ldp.establish_fec(
+        CoSFEC(PrefixFEC("10.2.0.0/16"), DSCP_EF), egress="ler-b"
+    )
+    ldp.establish_fec(
+        CoSFEC(PrefixFEC("10.2.0.0/16"), DSCP_AF41), egress="ler-b"
+    )
+
+    sink = network.source_sink("ler-a")
+    voice = VoIPSource(network.scheduler, sink, src="10.1.0.5",
+                       dst="10.2.0.9", stop=DURATION)
+    video = VideoSource(network.scheduler, sink, src="10.1.0.6",
+                        dst="10.2.0.10", fps=10, i_frame_size=6000,
+                        p_frame_size=1500, stop=DURATION)
+    data = CBRSource(network.scheduler, sink, src="10.1.0.7",
+                     dst="10.2.0.11", rate_bps=3e6, packet_size=1000,
+                     stop=DURATION)
+    for source in (voice, video, data):
+        source.begin()
+    network.run(until=DURATION + 2.0)
+
+    def stats(source):
+        delivered = network.delivered_count(source.flow_id)
+        latencies = network.latencies(source.flow_id)
+        loss = 100.0 * (1 - delivered / source.sent) if source.sent else 0.0
+        mean_ms = (sum(latencies) / len(latencies) * 1e3) if latencies else 0
+        worst_ms = max(latencies) * 1e3 if latencies else 0
+        return delivered, loss, mean_ms, worst_ms
+
+    return {
+        "voice": stats(voice),
+        "video": stats(video),
+        "data": stats(data),
+        "sent": {"voice": voice.sent, "video": video.sent, "data": data.sent},
+    }
+
+
+def main() -> None:
+    fifo = run_scenario(None)
+    prio = run_scenario(lambda: PriorityScheduler(capacity_per_class=64))
+
+    rows = []
+    for flow in ("voice", "video", "data"):
+        d1, l1, m1, w1 = fifo[flow]
+        d2, l2, m2, w2 = prio[flow]
+        rows.append([flow, fifo["sent"][flow],
+                     f"{l1:.1f}%", f"{m1:.2f}", f"{w1:.2f}",
+                     f"{l2:.1f}%", f"{m2:.2f}", f"{w2:.2f}"])
+    print(render_table(
+        ["flow", "sent",
+         "BE loss", "BE mean ms", "BE worst ms",
+         "CoS loss", "CoS mean ms", "CoS worst ms"],
+        rows,
+        title="VoIP/video under congestion: best effort vs CoS priority",
+    ))
+    print(
+        "\nWith CoS-aware scheduling the EF voice flow is lossless and its "
+        "latency stays\nnear the propagation floor, while best-effort data "
+        "absorbs the congestion --\nthe prioritization the paper's "
+        "introduction calls for."
+    )
+
+
+if __name__ == "__main__":
+    main()

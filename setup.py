@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no ``wheel`` package and no network, so PEP-517
+editable installs fail; ``python setup.py develop`` (or
+``pip install -e .`` on machines with wheel) both work through this
+shim.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,135 @@
+"""Packet tracing: record a packet's journey hop by hop.
+
+Attaches to an :class:`~repro.net.network.MPLSNetwork` by wrapping each
+node's ``receive``; every processing step is recorded with the
+timestamp, the node, the label stack on arrival, and the decision --
+producing the per-packet view of the paper's Figure 2 ("MPLS packet
+exchange") for any traffic the simulation carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.mpls.forwarding import Action, ForwardingDecision
+from repro.net.network import MPLSNetwork
+from repro.net.packet import IPv4Packet, MPLSPacket
+
+
+@dataclass(frozen=True)
+class HopRecord:
+    """One node's handling of one packet."""
+
+    time: float
+    node: str
+    stack_in: Tuple[int, ...]
+    ttl_in: int
+    action: Action
+    stack_out: Tuple[int, ...]
+    reason: Optional[str]
+
+
+@dataclass
+class PacketTrace:
+    """The full journey of one packet (keyed by its uid)."""
+
+    uid: int
+    flow_id: int
+    hops: List[HopRecord] = field(default_factory=list)
+
+    @property
+    def path(self) -> List[str]:
+        return [hop.node for hop in self.hops]
+
+    @property
+    def delivered(self) -> bool:
+        return bool(self.hops) and self.hops[-1].action is Action.FORWARD_IP
+
+    @property
+    def dropped(self) -> bool:
+        return any(hop.action is Action.DISCARD for hop in self.hops)
+
+    def label_journey(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        """(node, outgoing label stack) along the path -- the Figure 2
+        view of label evolution."""
+        return [(hop.node, hop.stack_out) for hop in self.hops]
+
+    def render(self) -> str:
+        lines = [f"packet uid={self.uid} flow={self.flow_id}:"]
+        for hop in self.hops:
+            stack_in = list(hop.stack_in) or "unlabelled"
+            stack_out = list(hop.stack_out) or "unlabelled"
+            outcome = hop.action.value
+            if hop.reason:
+                outcome += f" ({hop.reason})"
+            lines.append(
+                f"  t={hop.time * 1e3:8.3f}ms {hop.node:10s} "
+                f"in={stack_in!s:>16} out={stack_out!s:>16} {outcome}"
+            )
+        return "\n".join(lines)
+
+
+def _stack_labels(
+    packet: Union[IPv4Packet, MPLSPacket]
+) -> Tuple[int, ...]:
+    if isinstance(packet, MPLSPacket):
+        return tuple(e.label for e in packet.stack)
+    return ()
+
+
+def _ttl(packet: Union[IPv4Packet, MPLSPacket]) -> int:
+    if isinstance(packet, MPLSPacket):
+        return packet.stack.top.ttl if not packet.stack.is_empty else packet.inner.ttl
+    return packet.ttl
+
+
+class NetworkTracer:
+    """Records every packet's journey through a network.
+
+    Construct *after* the network (it wraps the nodes' ``receive``
+    methods in place).  Traces accumulate in :attr:`traces`.
+    """
+
+    def __init__(self, network: MPLSNetwork) -> None:
+        self.network = network
+        self.traces: Dict[int, PacketTrace] = {}
+        for node in network.nodes.values():
+            self._wrap(node)
+
+    def _wrap(self, node) -> None:
+        original = node.receive
+
+        def traced(packet, _original=original, _node=node):
+            stack_in = _stack_labels(packet)
+            ttl_in = _ttl(packet)
+            decision: ForwardingDecision = _original(packet)
+            inner = packet.inner if isinstance(packet, MPLSPacket) else packet
+            trace = self.traces.setdefault(
+                inner.uid, PacketTrace(uid=inner.uid, flow_id=inner.flow_id)
+            )
+            out = decision.packet
+            trace.hops.append(
+                HopRecord(
+                    time=self.network.scheduler.now,
+                    node=_node.name,
+                    stack_in=stack_in,
+                    ttl_in=ttl_in,
+                    action=decision.action,
+                    stack_out=_stack_labels(out) if out is not None else (),
+                    reason=decision.reason,
+                )
+            )
+            return decision
+
+        node.receive = traced
+
+    # -- queries --------------------------------------------------------
+    def trace_of(self, uid: int) -> PacketTrace:
+        return self.traces[uid]
+
+    def traces_for_flow(self, flow_id: int) -> List[PacketTrace]:
+        return [t for t in self.traces.values() if t.flow_id == flow_id]
+
+    def dropped_traces(self) -> List[PacketTrace]:
+        return [t for t in self.traces.values() if t.dropped]

@@ -1,0 +1,165 @@
+"""Command-line interface: regenerate the paper's results standalone.
+
+``python -m repro <command>``:
+
+* ``table6``      -- measure Table 6 on the cycle-accurate RTL
+* ``worst-case``  -- the Section 4 composite (analytic + RTL)
+* ``figures``     -- replay the Figure 14/15/16 simulations
+* ``hw-vs-sw``    -- the hardware/software partition comparison
+* ``throughput``  -- label-switching throughput vs table size
+* ``device``      -- the FPGA device model and memory budget
+* ``all``         -- everything above in sequence
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.analysis.cycles import measure_table6
+from repro.analysis.report import render_series, render_table
+from repro.analysis.throughput import estimate_throughput
+from repro.core.device import STRATIX_EP1S40
+from repro.core.hybrid import compare_partitions
+from repro.core.timing import worst_case_scenario
+from repro.hw.driver import ModifierDriver
+from repro.mpls.label import LabelEntry, LabelOp
+
+
+def cmd_table6() -> None:
+    rows = measure_table6(search_sizes=(1, 10, 100), ib_depth=1024)
+    print(render_table(
+        ["operation", "formula", "expected", "measured (RTL)", "match"],
+        [[r.operation, r.formula, r.expected, r.measured,
+          "ok" if r.matches else "MISMATCH"] for r in rows],
+        title="Table 6 -- processing times (worst-case clock cycles)",
+    ))
+
+
+def cmd_worst_case() -> None:
+    wc = worst_case_scenario()
+    rows = list(wc.as_rows())
+    rows.append(("time at 50 MHz", f"{wc.seconds * 1e3:.4f} ms"))
+    print(render_table(["component", "cycles"], rows,
+                       title="Section 4 worst case (paper: 6167 cycles, "
+                       "~0.1233 ms)"))
+    print("\nre-measuring on the cycle-accurate RTL (takes ~1 s)...")
+    drv = ModifierDriver(ib_depth=1024)
+    total = drv.reset()
+    for i, label in enumerate((100, 200, 300)):
+        total += drv.user_push(
+            LabelEntry(label=label, ttl=9, s=1 if i == 0 else 0)
+        )
+    for i in range(1023):
+        total += drv.write_pair(3, 1000 + i, 500, LabelOp.SWAP)
+    total += drv.write_pair(3, 300, 999, LabelOp.SWAP)
+    total += drv.update().cycles
+    print(f"RTL total: {total} cycles "
+          f"({STRATIX_EP1S40.time_for_cycles(total) * 1e3:.4f} ms) -- "
+          f"{'matches the paper' if total == 6167 else 'MISMATCH'}")
+
+
+def cmd_figures() -> None:
+    ops = [LabelOp.SWAP, LabelOp.POP, LabelOp.PUSH]
+    drv = ModifierDriver(ib_depth=1024)
+
+    drv.reset()
+    for i in range(10):
+        drv.write_pair(1, 600 + i, 500 + i, ops[i % 3])
+    hit = drv.search(1, 604)
+    print(f"Figure 14: lookup(packetid=604) -> label_out={hit.label} "
+          f"operation_out={int(hit.op)} cycles={hit.cycles} "
+          f"packetdiscard={int(hit.discarded)}")
+
+    drv.reset()
+    for i in range(10):
+        drv.write_pair(2, i + 1, 500 + i, ops[i % 3])
+    hit2 = drv.search(2, 5)
+    print(f"Figure 15: lookup(label=5) at level 2 -> label_out={hit2.label} "
+          f"cycles={hit2.cycles} packetdiscard={int(hit2.discarded)}")
+
+    miss = drv.search(2, 27)
+    print(f"Figure 16: lookup(label=27, absent) -> found={miss.found} "
+          f"cycles={miss.cycles} (3n+5, n=10) "
+          f"packetdiscard={int(miss.discarded)}")
+
+
+def cmd_hw_vs_sw() -> None:
+    cmp = compare_partitions()
+    rows = [
+        [p.n_entries, p.hw_cycles, round(p.hw_seconds * 1e6, 2),
+         round(p.sw_seconds * 1e6, 2),
+         f"{p.speedup_vs_linear_sw:.1f}x"]
+        for p in cmp.points
+    ]
+    print(render_table(
+        ["IB entries", "hw cycles", "hw us", "sw-linear us", "hw speedup"],
+        rows,
+        title="Hardware (50 MHz) vs linear software (200 MHz) per "
+        "worst-case swap",
+    ))
+    print(f"hashed-software crossover at n = {cmp.crossover_entries()}")
+
+
+def cmd_throughput() -> None:
+    rows = []
+    for n in (1, 16, 64, 256, 1024):
+        est = estimate_throughput(n, packet_size_bytes=500)
+        rows.append([n, est.cycles_per_packet,
+                     int(est.packets_per_second), round(est.mbps, 1)])
+    print(render_series(
+        "IB entries", ["cycles/pkt", "pps", "Mbps (500B)"], rows,
+        title="Worst-case label-switching throughput at 50 MHz",
+    ))
+
+
+def cmd_device() -> None:
+    dev = STRATIX_EP1S40
+    print(render_table(
+        ["property", "value"],
+        [
+            ["device", dev.name],
+            ["clock", f"{dev.clock_hz / 1e6:.0f} MHz"],
+            ["cycle time", f"{dev.cycle_time_s * 1e9:.0f} ns"],
+            ["block RAM", f"{dev.memory_bits} bits"],
+            ["info base need", f"{dev.info_base_bits()} bits"],
+            ["memory utilization", f"{dev.memory_utilization():.1%}"],
+            ["fits", "yes" if dev.fits_info_base() else "NO"],
+        ],
+        title="FPGA device model",
+    ))
+
+
+COMMANDS: Dict[str, Callable[[], None]] = {
+    "table6": cmd_table6,
+    "worst-case": cmd_worst_case,
+    "figures": cmd_figures,
+    "hw-vs-sw": cmd_hw_vs_sw,
+    "throughput": cmd_throughput,
+    "device": cmd_device,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's results.",
+    )
+    parser.add_argument(
+        "command",
+        choices=[*COMMANDS, "all"],
+        help="which result to regenerate",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        for name, fn in COMMANDS.items():
+            print(f"\n===== {name} =====")
+            fn()
+    else:
+        COMMANDS[args.command]()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Routing functionality: the software control plane.
+
+The paper assigns "routing protocol functionality" to software, and
+declares label path creation and distribution out of scope for the
+hardware -- but the architecture depends on a populated information
+base.  This subpackage supplies that software plane:
+
+* :mod:`repro.control.routing` -- link-state database + Dijkstra SPF,
+* :mod:`repro.control.labels` -- per-node label allocation,
+* :mod:`repro.control.ldp` -- LDP-style downstream-unsolicited label
+  distribution along IGP shortest paths,
+* :mod:`repro.control.cspf` -- constraint-based SPF (bandwidth and
+  affinity pruning) for traffic engineering,
+* :mod:`repro.control.rsvp_te` -- RSVP-TE-style explicit-route LSP
+  signalling with bandwidth reservation,
+* :mod:`repro.control.cr_ldp` -- CR-LDP-style explicit-route setup
+  (the other label distribution protocol the paper names),
+* :mod:`repro.control.lsp` -- LSP and tunnel-hierarchy objects.
+"""
+
+from repro.control.routing import LinkStateDatabase, SPFResult, shortest_path
+from repro.control.labels import LabelAllocator, LabelSpaceExhausted
+from repro.control.ldp import LDPProcess
+from repro.control.ldp_sessions import MessageLDPProcess
+from repro.control.cspf import CSPFError, cspf_path
+from repro.control.rsvp_te import RSVPTESignaler, SignalingError
+from repro.control.cr_ldp import CRLDPSignaler
+from repro.control.frr import FastRerouteManager, ProtectedPath
+from repro.control.oam import (
+    PingResult,
+    TracerouteResult,
+    lsp_ping,
+    lsp_traceroute,
+)
+from repro.control.lsp import LSP, TunnelHierarchy
+
+__all__ = [
+    "LinkStateDatabase",
+    "SPFResult",
+    "shortest_path",
+    "LabelAllocator",
+    "LabelSpaceExhausted",
+    "LDPProcess",
+    "MessageLDPProcess",
+    "cspf_path",
+    "CSPFError",
+    "RSVPTESignaler",
+    "SignalingError",
+    "CRLDPSignaler",
+    "FastRerouteManager",
+    "ProtectedPath",
+    "lsp_ping",
+    "lsp_traceroute",
+    "PingResult",
+    "TracerouteResult",
+    "LSP",
+    "TunnelHierarchy",
+]

@@ -1,0 +1,170 @@
+"""LDP-style label distribution (downstream unsolicited, liberal
+retention omitted -- bindings follow the IGP shortest path).
+
+For a FEC whose egress is a given LER, every router that can reach the
+egress allocates a local label and installs:
+
+* at the egress -- a POP entry (or it advertises Implicit NULL when
+  penultimate-hop popping is requested, in which case the upstream
+  neighbour pops instead),
+* at transit nodes -- a SWAP from the local label to the downstream
+  neighbour's label,
+* at ingress LERs -- an FTN entry pushing the first label.
+
+The result is exactly the state the paper's software routing
+functionality would program into the hardware information base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.control.labels import LabelAllocator
+from repro.control.routing import LinkStateDatabase
+from repro.mpls.fec import FEC
+from repro.mpls.label import IMPLICIT_NULL, LabelOp
+from repro.mpls.nhlfe import NHLFE
+from repro.mpls.router import LSRNode
+from repro.net.topology import Topology
+
+
+@dataclass
+class FECBinding:
+    """The network-wide label bindings for one FEC."""
+
+    fec: FEC
+    egress: str
+    php: bool
+    #: node -> the label that node expects (IMPLICIT_NULL at a PHP egress)
+    labels: Dict[str, int] = field(default_factory=dict)
+    #: node -> next hop towards the egress
+    next_hops: Dict[str, str] = field(default_factory=dict)
+
+
+class LDPProcess:
+    """Distributes labels for FECs over a converged topology.
+
+    Parameters
+    ----------
+    topology:
+        The (shared) link-state view.
+    nodes:
+        name -> :class:`~repro.mpls.router.LSRNode`; their ILM/FTN
+        tables are programmed directly, modelling a converged LDP.
+    """
+
+    def __init__(self, topology: Topology, nodes: Dict[str, LSRNode]) -> None:
+        self.topology = topology
+        self.nodes = nodes
+        self.lsdb = LinkStateDatabase(topology)
+        self.allocators: Dict[str, LabelAllocator] = {
+            name: LabelAllocator() for name in nodes
+        }
+        self.bindings: List[FECBinding] = []
+
+    def establish_fec(
+        self,
+        fec: FEC,
+        egress: str,
+        php: bool = False,
+        ingresses: Optional[List[str]] = None,
+    ) -> FECBinding:
+        """Bind labels for ``fec`` terminating at ``egress``.
+
+        ``ingresses`` limits which nodes get an FTN entry; by default
+        every edge router (LER) that can reach the egress does.
+        """
+        if egress not in self.nodes:
+            raise KeyError(f"unknown egress {egress!r}")
+        binding = FECBinding(fec=fec, egress=egress, php=php)
+
+        # 1. label allocation (downstream unsolicited advertisement)
+        for name in self.nodes:
+            if name == egress:
+                binding.labels[name] = (
+                    IMPLICIT_NULL if php else self.allocators[name].allocate()
+                )
+            else:
+                binding.labels[name] = self.allocators[name].allocate()
+
+        # 2. next hops from each node's SPF towards the egress
+        for name in self.nodes:
+            if name == egress:
+                continue
+            spf = self.lsdb.spf(name)
+            nh = spf.next_hop(egress)
+            if nh is not None:
+                binding.next_hops[name] = nh
+
+        # 3. install forwarding state
+        if not php:
+            self.nodes[egress].ilm.install(
+                binding.labels[egress], NHLFE(op=LabelOp.POP)
+            )
+        for name, nh in binding.next_hops.items():
+            node = self.nodes[name]
+            node.ilm.install(
+                binding.labels[name],
+                NHLFE(
+                    op=LabelOp.SWAP,
+                    out_label=binding.labels[nh],
+                    next_hop=nh,
+                ),
+            )
+        targets = (
+            ingresses
+            if ingresses is not None
+            else [
+                name
+                for name, node in self.nodes.items()
+                if node.is_edge and name != egress
+            ]
+        )
+        for name in targets:
+            nh = binding.next_hops.get(name)
+            if nh is None:
+                continue
+            downstream = binding.labels[nh]
+            if downstream == IMPLICIT_NULL:
+                # adjacent to a PHP egress: no label at all
+                self.nodes[name].ftn.install(
+                    fec, NHLFE(op=LabelOp.NOOP, next_hop=nh)
+                )
+            else:
+                self.nodes[name].ftn.install(
+                    fec,
+                    NHLFE(op=LabelOp.PUSH, out_label=downstream, next_hop=nh),
+                )
+        self.bindings.append(binding)
+        return binding
+
+    def withdraw_fec(self, binding: FECBinding) -> None:
+        """Remove all forwarding state and release the labels."""
+        if binding not in self.bindings:
+            raise KeyError("binding not established by this process")
+        if not binding.php:
+            self.nodes[binding.egress].ilm.remove(
+                binding.labels[binding.egress]
+            )
+        for name in binding.next_hops:
+            node = self.nodes[name]
+            if binding.labels[name] in node.ilm:
+                node.ilm.remove(binding.labels[name])
+            try:
+                node.ftn.remove(binding.fec)
+            except KeyError:
+                pass
+        for name, label in binding.labels.items():
+            if label != IMPLICIT_NULL:
+                self.allocators[name].release(label)
+        self.bindings.remove(binding)
+
+    def reconverge(self) -> None:
+        """Recompute every binding after a topology change (the model's
+        equivalent of LDP reacting to an IGP reconvergence)."""
+        old = list(self.bindings)
+        for binding in old:
+            fec, egress, php = binding.fec, binding.egress, binding.php
+            self.withdraw_fec(binding)
+            self.establish_fec(fec, egress, php)

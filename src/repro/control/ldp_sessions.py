@@ -1,0 +1,331 @@
+"""Message-level LDP: discovery, sessions, ordered label distribution.
+
+:mod:`repro.control.ldp` models a *converged* LDP (state appears
+instantaneously).  This module models how that state comes to exist:
+every router runs an :class:`LDPSpeaker` exchanging real messages over
+the event scheduler with per-link propagation delays --
+
+1. **discovery**: HELLOs on every adjacency,
+2. **session setup**: the active side (higher node name) sends INIT,
+   the passive side replies, KEEPALIVEs confirm; the session is then up
+   on both ends,
+3. **label distribution** (downstream-unsolicited, *ordered* control):
+   the egress originates a LABEL_MAPPING for an announced FEC; a router
+   that receives a mapping from its SPF next hop towards the egress
+   installs forwarding state and only then propagates its own mapping
+   upstream -- so LSPs become usable strictly from the egress backwards,
+4. **withdrawal**: LABEL_WITHDRAW propagates the same way and tears the
+   state down.
+
+The orchestrator records message counts and convergence timestamps, so
+benchmarks can measure control-plane convergence against topology
+diameter -- the "efficient maintenance of those paths" the paper's
+introduction asks of MPLS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.control.labels import LabelAllocator
+from repro.control.routing import LinkStateDatabase
+from repro.mpls.fec import FEC
+from repro.mpls.label import LabelOp
+from repro.mpls.nhlfe import NHLFE
+from repro.mpls.router import LSRNode
+from repro.net.events import EventScheduler
+from repro.net.topology import Topology
+
+
+class MsgType(Enum):
+    HELLO = "hello"
+    INIT = "init"
+    KEEPALIVE = "keepalive"
+    LABEL_MAPPING = "label-mapping"
+    LABEL_WITHDRAW = "label-withdraw"
+
+
+@dataclass(frozen=True)
+class LDPMessage:
+    kind: MsgType
+    src: str
+    dst: str
+    #: FEC id for mapping/withdraw messages
+    fec_id: Optional[str] = None
+    label: Optional[int] = None
+
+
+@dataclass
+class FECState:
+    """One distributed FEC, tracked network-wide for convergence."""
+
+    fec: FEC
+    egress: str
+    #: node -> label it advertised upstream
+    advertised: Dict[str, int] = field(default_factory=dict)
+    #: node -> time its forwarding state was installed
+    installed_at: Dict[str, float] = field(default_factory=dict)
+    withdrawn: bool = False
+
+
+class LDPSpeaker:
+    """The per-router LDP protocol instance."""
+
+    def __init__(self, process: "MessageLDPProcess", node: LSRNode) -> None:
+        self.process = process
+        self.node = node
+        self.name = node.name
+        self.allocator = LabelAllocator()
+        #: neighbours from which a HELLO arrived
+        self.heard: Set[str] = set()
+        #: peers with an established session
+        self.sessions: Set[str] = set()
+        #: fec_id -> (neighbor -> label) remote bindings
+        self.bindings: Dict[str, Dict[str, int]] = {}
+        #: fec_id -> label we advertised
+        self.local_labels: Dict[str, int] = {}
+
+    # -- discovery / session ------------------------------------------------
+    def start(self) -> None:
+        for neighbor in self.process.topology.neighbors(self.name):
+            self.process.send(
+                LDPMessage(MsgType.HELLO, self.name, neighbor)
+            )
+
+    def handle(self, msg: LDPMessage) -> None:
+        if msg.kind is MsgType.HELLO:
+            self._on_hello(msg)
+        elif msg.kind is MsgType.INIT:
+            self._on_init(msg)
+        elif msg.kind is MsgType.KEEPALIVE:
+            self._on_keepalive(msg)
+        elif msg.kind is MsgType.LABEL_MAPPING:
+            self._on_mapping(msg)
+        elif msg.kind is MsgType.LABEL_WITHDRAW:
+            self._on_withdraw(msg)
+
+    def _on_hello(self, msg: LDPMessage) -> None:
+        first = msg.src not in self.heard
+        self.heard.add(msg.src)
+        if first:
+            # every speaker already hello'd all neighbours at start, so
+            # no reply is needed; the active side (lexicographically
+            # larger name) initiates the session
+            if self.name > msg.src:
+                self.process.send(
+                    LDPMessage(MsgType.INIT, self.name, msg.src)
+                )
+
+    def _on_init(self, msg: LDPMessage) -> None:
+        if msg.src not in self.sessions:
+            if self.name < msg.src:
+                # passive side: respond with its own INIT
+                self.process.send(
+                    LDPMessage(MsgType.INIT, self.name, msg.src)
+                )
+            self.process.send(
+                LDPMessage(MsgType.KEEPALIVE, self.name, msg.src)
+            )
+
+    def _on_keepalive(self, msg: LDPMessage) -> None:
+        if msg.src not in self.sessions:
+            self.sessions.add(msg.src)
+            self.process._session_up(self.name, msg.src)
+            # distribute any FECs we already originated/learned
+            for fec_id in list(self.local_labels):
+                self._advertise(fec_id, only_to=msg.src)
+
+    # -- label distribution ---------------------------------------------------
+    def originate(self, fec_id: str) -> None:
+        """Egress behaviour: bind a label and advertise it."""
+        state = self.process.fecs[fec_id]
+        label = self.allocator.allocate()
+        self.local_labels[fec_id] = label
+        self.node.ilm.install(label, NHLFE(op=LabelOp.POP))
+        state.advertised[self.name] = label
+        state.installed_at[self.name] = self.process.scheduler.now
+        self._advertise(fec_id)
+
+    def _advertise(self, fec_id: str, only_to: Optional[str] = None) -> None:
+        label = self.local_labels[fec_id]
+        peers = [only_to] if only_to else sorted(self.sessions)
+        for peer in peers:
+            self.process.send(
+                LDPMessage(
+                    MsgType.LABEL_MAPPING,
+                    self.name,
+                    peer,
+                    fec_id=fec_id,
+                    label=label,
+                )
+            )
+
+    def _next_hop_to_egress(self, egress: str) -> Optional[str]:
+        spf = self.process.lsdb.spf(self.name)
+        return spf.next_hop(egress)
+
+    def _on_mapping(self, msg: LDPMessage) -> None:
+        fec_id = msg.fec_id
+        state = self.process.fecs.get(fec_id)
+        if state is None or state.withdrawn:
+            return
+        self.bindings.setdefault(fec_id, {})[msg.src] = msg.label
+        if self.name == state.egress or fec_id in self.local_labels:
+            return  # already installed / we are the egress
+        next_hop = self._next_hop_to_egress(state.egress)
+        if next_hop != msg.src:
+            return  # liberal retention: keep the binding, do not use it
+        # ordered control: install, then propagate upstream
+        label = self.allocator.allocate()
+        self.local_labels[fec_id] = label
+        self.node.ilm.install(
+            label,
+            NHLFE(op=LabelOp.SWAP, out_label=msg.label, next_hop=next_hop),
+        )
+        if self.node.is_edge:
+            self.node.ftn.install(
+                state.fec,
+                NHLFE(
+                    op=LabelOp.PUSH, out_label=msg.label, next_hop=next_hop
+                ),
+            )
+        state.advertised[self.name] = label
+        state.installed_at[self.name] = self.process.scheduler.now
+        self._advertise(fec_id)
+
+    def _on_withdraw(self, msg: LDPMessage) -> None:
+        fec_id = msg.fec_id
+        state = self.process.fecs.get(fec_id)
+        if state is None:
+            return
+        self.bindings.get(fec_id, {}).pop(msg.src, None)
+        label = self.local_labels.pop(fec_id, None)
+        if label is None:
+            return
+        if label in self.node.ilm:
+            self.node.ilm.remove(label)
+        try:
+            self.node.ftn.remove(state.fec)
+        except KeyError:
+            pass
+        self.allocator.release(label)
+        state.installed_at.pop(self.name, None)
+        for peer in sorted(self.sessions):
+            if peer != msg.src:
+                self.process.send(
+                    LDPMessage(
+                        MsgType.LABEL_WITHDRAW,
+                        self.name,
+                        peer,
+                        fec_id=fec_id,
+                    )
+                )
+
+
+class MessageLDPProcess:
+    """Orchestrates the speakers over one event scheduler."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        nodes: Dict[str, LSRNode],
+        scheduler: EventScheduler,
+        processing_delay: float = 50e-6,
+    ) -> None:
+        self.topology = topology
+        self.scheduler = scheduler
+        self.lsdb = LinkStateDatabase(topology)
+        self.processing_delay = processing_delay
+        self.speakers: Dict[str, LDPSpeaker] = {
+            name: LDPSpeaker(self, node) for name, node in nodes.items()
+        }
+        self.fecs: Dict[str, FECState] = {}
+        self.message_counts: Dict[MsgType, int] = {k: 0 for k in MsgType}
+        self.sessions_established: List[Tuple[float, str, str]] = []
+        self._started = False
+
+    # -- transport ---------------------------------------------------------
+    def send(self, msg: LDPMessage) -> None:
+        if not self.topology.has_link(msg.src, msg.dst):
+            return  # adjacency gone (link failed mid-flight)
+        self.message_counts[msg.kind] += 1
+        delay = (
+            self.topology.link(msg.src, msg.dst).delay_s
+            + self.processing_delay
+        )
+        self.scheduler.after(
+            delay, lambda: self.speakers[msg.dst].handle(msg)
+        )
+
+    def _session_up(self, a: str, b: str) -> None:
+        self.sessions_established.append((self.scheduler.now, a, b))
+
+    # -- operations --------------------------------------------------------
+    def start(self) -> None:
+        """Begin discovery on every router."""
+        if self._started:
+            raise RuntimeError("already started")
+        self._started = True
+        for speaker in self.speakers.values():
+            speaker.start()
+
+    def announce_fec(self, fec_id: str, fec: FEC, egress: str) -> FECState:
+        """The egress originates a FEC (schedule after sessions form)."""
+        if fec_id in self.fecs:
+            raise ValueError(f"FEC {fec_id!r} already announced")
+        state = FECState(fec=fec, egress=egress)
+        self.fecs[fec_id] = state
+        self.speakers[egress].originate(fec_id)
+        return state
+
+    def withdraw_fec(self, fec_id: str) -> None:
+        state = self.fecs[fec_id]
+        state.withdrawn = True
+        egress = self.speakers[state.egress]
+        label = egress.local_labels.pop(fec_id, None)
+        if label is not None:
+            if label in egress.node.ilm:
+                egress.node.ilm.remove(label)
+            egress.allocator.release(label)
+        state.installed_at.pop(state.egress, None)
+        for peer in sorted(egress.sessions):
+            self.send(
+                LDPMessage(
+                    MsgType.LABEL_WITHDRAW, state.egress, peer, fec_id=fec_id
+                )
+            )
+
+    # -- observations ----------------------------------------------------
+    def all_sessions_up(self) -> bool:
+        for a, b in self.topology.links:
+            if b not in self.speakers[a].sessions:
+                return False
+            if a not in self.speakers[b].sessions:
+                return False
+        return True
+
+    def converged(self, fec_id: str) -> bool:
+        """Every router that can reach the egress has installed state."""
+        state = self.fecs[fec_id]
+        for name in self.speakers:
+            if name == state.egress:
+                continue
+            spf = self.lsdb.spf(name)
+            if spf.reachable(state.egress) and name not in state.installed_at:
+                return False
+        return True
+
+    def convergence_time(self, fec_id: str) -> float:
+        """Time from announcement until the last router installed."""
+        state = self.fecs[fec_id]
+        if not state.installed_at:
+            return float("nan")
+        return max(state.installed_at.values()) - min(
+            state.installed_at.values()
+        )
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.message_counts.values())

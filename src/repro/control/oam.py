@@ -1,0 +1,147 @@
+"""MPLS OAM: LSP ping and TTL traceroute.
+
+Operations tooling over the data plane, in the spirit of LSP ping
+(RFC 4379) but built from exactly the mechanisms this reproduction
+already has:
+
+* **LSP ping** -- inject a probe addressed into the FEC at the ingress
+  and confirm it emerges at the expected egress, measuring round-trip
+  path latency.  Verifies the *data plane* end to end, which routing
+  state alone cannot.
+* **LSP traceroute** -- inject probes with MPLS TTL 1, 2, 3, ...; each
+  expires one hop further along the LSP and the discarding node reveals
+  itself, reconstructing the actual forwarding path hop by hop (the
+  paper's TTL semantics -- "The packet is discarded when the TTL
+  reaches zero" -- used as a feature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.network import MPLSNetwork
+from repro.net.packet import IPv4Packet
+
+
+@dataclass(frozen=True)
+class PingResult:
+    """One LSP ping."""
+
+    reached: bool
+    egress: Optional[str]
+    latency: Optional[float]
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """One TTL step of an LSP traceroute."""
+
+    ttl: int
+    node: Optional[str]   # who reported (discarded or delivered)
+    reached_egress: bool
+
+
+@dataclass
+class TracerouteResult:
+    hops: List[TracerouteHop] = field(default_factory=list)
+
+    @property
+    def path(self) -> List[str]:
+        """Distinct hops in order.  The egress appears once even though
+        it answers two probes (it expires the TTL that just reaches it
+        and delivers the next one)."""
+        out: List[str] = []
+        for hop in self.hops:
+            if hop.node is not None and (not out or out[-1] != hop.node):
+                out.append(hop.node)
+        return out
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.hops) and self.hops[-1].reached_egress
+
+
+def lsp_ping(
+    network: MPLSNetwork,
+    ingress: str,
+    destination: str,
+    source: str = "192.0.2.1",
+    timeout: float = 1.0,
+) -> PingResult:
+    """Send one probe into the FEC at ``ingress``; did it come out?"""
+    sent_at = network.scheduler.now
+    before = len(network.deliveries)
+    probe = IPv4Packet(
+        src=source, dst=destination, protocol=17, created_at=sent_at
+    )
+    network.inject(ingress, probe)
+    network.run(until=sent_at + timeout)
+    for delivery in network.deliveries[before:]:
+        if delivery.packet.uid == probe.uid:
+            return PingResult(
+                reached=True,
+                egress=delivery.node,
+                latency=delivery.time - sent_at,
+                sent_at=sent_at,
+            )
+    return PingResult(
+        reached=False, egress=None, latency=None, sent_at=sent_at
+    )
+
+
+def lsp_traceroute(
+    network: MPLSNetwork,
+    ingress: str,
+    destination: str,
+    source: str = "192.0.2.1",
+    max_ttl: int = 16,
+    timeout_per_hop: float = 1.0,
+) -> TracerouteResult:
+    """Walk the LSP with expiring TTLs.
+
+    Probe k carries IPv4 TTL k+1: the ingress consumes one decrement,
+    so the MPLS TTL is k on entry to the core and the probe dies at the
+    k-th label switch -- whose discard record names it.  The walk ends
+    when a probe survives to the egress.
+    """
+    result = TracerouteResult()
+    for ttl in range(2, max_ttl + 2):
+        start = network.scheduler.now
+        drops_before = len(network.drops)
+        deliveries_before = len(network.deliveries)
+        probe = IPv4Packet(
+            src=source, dst=destination, ttl=ttl, created_at=start
+        )
+        network.inject(ingress, probe)
+        network.run(until=start + timeout_per_hop)
+        delivered = next(
+            (
+                d
+                for d in network.deliveries[deliveries_before:]
+                if d.packet.uid == probe.uid
+            ),
+            None,
+        )
+        if delivered is not None:
+            result.hops.append(
+                TracerouteHop(
+                    ttl=ttl, node=delivered.node, reached_egress=True
+                )
+            )
+            return result
+        new_drops = network.drops[drops_before:]
+        expiry = next(
+            (d for d in new_drops if "TTL" in d.reason), None
+        )
+        result.hops.append(
+            TracerouteHop(
+                ttl=ttl,
+                node=expiry.node if expiry is not None else None,
+                reached_egress=False,
+            )
+        )
+        if expiry is None and not new_drops:
+            break  # probe vanished (e.g. blackhole without a record)
+    return result

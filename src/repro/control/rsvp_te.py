@@ -1,0 +1,218 @@
+"""RSVP-TE-style explicit-route LSP signalling.
+
+One of the two label distribution protocols the paper names for QoS
+("label distribution protocols that use MPLS like RSVP-TE and
+CR-LDP").  The model captures the protocol's essence:
+
+* a **PATH** message travels the explicit route from head-end to tail,
+* a **RESV** message returns, allocating a label at every hop
+  (downstream-on-demand) and reserving bandwidth on each link,
+* the state is *soft*: it must be refreshed, and :meth:`expire_stale`
+  tears down LSPs whose refreshes stopped (the failure-injection path).
+
+Setup installs the same ILM/FTN entries a converged RSVP-TE network
+would hold, so the data plane can forward immediately afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.control.cspf import cspf_path
+from repro.control.labels import LabelAllocator
+from repro.control.lsp import LSP
+from repro.mpls.fec import FEC
+from repro.mpls.label import IMPLICIT_NULL, LabelOp
+from repro.mpls.nhlfe import NHLFE
+from repro.mpls.router import LSRNode
+from repro.net.topology import Topology
+
+
+class SignalingError(Exception):
+    """LSP setup failed (admission control, bad route...)."""
+
+
+@dataclass
+class SignalingStats:
+    path_messages: int = 0
+    resv_messages: int = 0
+    refresh_messages: int = 0
+    teardowns: int = 0
+    setup_failures: int = 0
+
+
+class RSVPTESignaler:
+    """Head-end signalling over shared node/topology state."""
+
+    def __init__(self, topology: Topology, nodes: Dict[str, LSRNode]) -> None:
+        self.topology = topology
+        self.nodes = nodes
+        self.allocators: Dict[str, LabelAllocator] = {
+            name: LabelAllocator(first=100_000) for name in nodes
+        }
+        self.stats = SignalingStats()
+        self.lsps: Dict[str, LSP] = {}
+        #: lsp name -> last refresh timestamp
+        self._last_refresh: Dict[str, float] = {}
+
+    # -- setup ---------------------------------------------------------
+    def setup(
+        self,
+        name: str,
+        ingress: str,
+        egress: str,
+        explicit_route: Optional[List[str]] = None,
+        bandwidth_bps: float = 0.0,
+        cos: Optional[int] = None,
+        fec: Optional[FEC] = None,
+        php: bool = False,
+        include_affinity: int = 0,
+        exclude_affinity: int = 0,
+    ) -> LSP:
+        """Signal an LSP; returns it up and installed.
+
+        Without an ``explicit_route``, CSPF computes one honouring the
+        bandwidth/affinity constraints.  Admission control rejects the
+        setup (and reserves nothing) when any link lacks headroom.
+        """
+        if name in self.lsps:
+            raise SignalingError(f"LSP {name!r} already exists")
+        if explicit_route is None:
+            try:
+                explicit_route = cspf_path(
+                    self.topology,
+                    ingress,
+                    egress,
+                    bandwidth_bps=bandwidth_bps,
+                    include_affinity=include_affinity,
+                    exclude_affinity=exclude_affinity,
+                )
+            except Exception as exc:
+                self.stats.setup_failures += 1
+                raise SignalingError(f"CSPF failed for {name!r}: {exc}") from exc
+        route = explicit_route
+        self._validate_route(route, ingress, egress)
+
+        # PATH downstream: verify hop adjacency and bandwidth headroom.
+        for a, b in zip(route, route[1:]):
+            self.stats.path_messages += 1
+            attrs = self.topology.link(a, b)
+            if attrs.reservable(a) + 1e-9 < bandwidth_bps:
+                self.stats.setup_failures += 1
+                raise SignalingError(
+                    f"admission control: link {a}-{b} has only "
+                    f"{attrs.reservable(a):g} bps unreserved, "
+                    f"{bandwidth_bps:g} requested"
+                )
+
+        # RESV upstream: allocate labels, install state, reserve.
+        hop_labels: List[Optional[int]] = [None] * (len(route) - 1)
+        downstream_label: Optional[int] = IMPLICIT_NULL if php else None
+        for i in range(len(route) - 1, 0, -1):
+            node_name = route[i]
+            self.stats.resv_messages += 1
+            if i == len(route) - 1:
+                if php:
+                    label = IMPLICIT_NULL
+                else:
+                    label = self.allocators[node_name].allocate()
+                    self.nodes[node_name].ilm.install(
+                        label, NHLFE(op=LabelOp.POP)
+                    )
+            else:
+                label = self.allocators[node_name].allocate()
+                self.nodes[node_name].ilm.install(
+                    label,
+                    NHLFE(
+                        op=LabelOp.SWAP,
+                        out_label=downstream_label,
+                        next_hop=route[i + 1],
+                        cos=cos,
+                    ),
+                )
+            hop_labels[i - 1] = label
+            downstream_label = label
+
+        # head-end FTN entry (when a FEC is being steered onto the LSP)
+        first_label = hop_labels[0]
+        if fec is not None:
+            if first_label == IMPLICIT_NULL:
+                self.nodes[ingress].ftn.install(
+                    fec, NHLFE(op=LabelOp.NOOP, next_hop=route[1])
+                )
+            else:
+                self.nodes[ingress].ftn.install(
+                    fec,
+                    NHLFE(
+                        op=LabelOp.PUSH,
+                        out_label=first_label,
+                        next_hop=route[1],
+                        cos=cos,
+                    ),
+                )
+
+        # bandwidth reservation along the route
+        for a, b in zip(route, route[1:]):
+            self.topology.link(a, b).reserve(a, bandwidth_bps)
+
+        lsp = LSP(
+            name=name,
+            path=list(route),
+            hop_labels=hop_labels,
+            bandwidth_bps=bandwidth_bps,
+            cos=cos,
+            protocol="rsvp-te",
+        )
+        self.lsps[name] = lsp
+        self._last_refresh[name] = 0.0
+        return lsp
+
+    def _validate_route(self, route: List[str], ingress: str, egress: str) -> None:
+        if len(route) < 2:
+            raise SignalingError("explicit route needs >= 2 nodes")
+        if route[0] != ingress or route[-1] != egress:
+            raise SignalingError("explicit route must span ingress..egress")
+        for a, b in zip(route, route[1:]):
+            if not self.topology.has_link(a, b):
+                raise SignalingError(f"explicit route uses missing link {a}-{b}")
+        if len(set(route)) != len(route):
+            raise SignalingError("explicit route revisits a node")
+
+    # -- soft state ------------------------------------------------------
+    def refresh(self, name: str, now: float) -> None:
+        """Record a refresh for the LSP (one message per hop)."""
+        lsp = self.lsps[name]
+        self.stats.refresh_messages += lsp.hops
+        self._last_refresh[name] = now
+
+    def expire_stale(self, now: float, hold_time: float = 90.0) -> List[str]:
+        """Tear down LSPs not refreshed within ``hold_time``."""
+        stale = [
+            name
+            for name, last in self._last_refresh.items()
+            if now - last > hold_time
+        ]
+        for name in stale:
+            self.teardown(name)
+        return stale
+
+    # -- teardown ---------------------------------------------------------
+    def teardown(self, name: str) -> None:
+        lsp = self.lsps.pop(name, None)
+        if lsp is None:
+            raise KeyError(f"unknown LSP {name!r}")
+        self._last_refresh.pop(name, None)
+        self.stats.teardowns += 1
+        route = lsp.path
+        for i in range(1, len(route)):
+            node_name = route[i]
+            label = lsp.hop_labels[i - 1]
+            if label is None or label == IMPLICIT_NULL:
+                continue
+            if label in self.nodes[node_name].ilm:
+                self.nodes[node_name].ilm.remove(label)
+            self.allocators[node_name].release(label)
+        for a, b in zip(route, route[1:]):
+            self.topology.link(a, b).release(a, lsp.bandwidth_bps)
+        lsp.up = False

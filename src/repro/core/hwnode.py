@@ -1,0 +1,291 @@
+"""A network node whose data plane runs on the label stack modifier.
+
+:class:`HardwareLSRNode` is a drop-in replacement for
+:class:`~repro.mpls.router.LSRNode` inside an
+:class:`~repro.net.network.MPLSNetwork`: the control plane programs the
+same ILM/FTN tables, but every packet is forwarded by the hardware
+model (the :class:`~repro.hw.model.FunctionalModifier`, equivalent to
+the RTL by property test), with exact clock-cycle accounting per
+packet.
+
+Two hardware/software co-design mechanisms, both in the spirit of the
+paper's hybrid premise:
+
+* **table mirroring** -- when the ILM generation changes, the node
+  reprograms the information base through the hardware's write port
+  (3 cycles per pair, counted as control cycles).  ILM entries are
+  mirrored into all three levels because a label can appear at any
+  stack depth once tunnels nest.
+* **level-1 flow cache** -- the hardware's level 1 is keyed by exact
+  packet identifiers (destination addresses), but ingress
+  classification is by prefix.  A destination's first packet therefore
+  misses in hardware, takes the software FTN slow path, and installs
+  its (destination -> label) pair in level 1; subsequent packets to
+  that destination are label-switched entirely in hardware.  The
+  node counts slow-path events so benchmarks can show the cache
+  working.
+
+Known, documented semantic difference from the software engine: on a
+pop that exposes a lower stack entry, the hardware writes the
+decremented outer TTL into the exposed entry unconditionally (the
+paper's UPDATE_TOP), while the software engine takes the minimum with
+the exposed entry's own TTL.  Under the uniform TTL model both values
+coincide, since nested entries are created with equal TTLs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Union
+
+from repro.hw.model import FunctionalModifier
+from repro.mpls.forwarding import (
+    Action,
+    ForwardingDecision,
+    _dscp_to_cos,
+)
+from repro.mpls.label import LabelOp
+from repro.mpls.router import LSRNode, RouterRole
+from repro.mpls.stack import LabelStack
+from repro.net.packet import IPv4Packet, MPLSPacket
+
+
+class HardwareLSRNode(LSRNode):
+    """An LSR/LER whose label operations run on the hardware model."""
+
+    def __init__(
+        self,
+        name: str,
+        role: RouterRole = RouterRole.LSR,
+        interfaces=None,
+        ib_depth: int = 1024,
+    ) -> None:
+        super().__init__(name, role, interfaces)
+        self.modifier = FunctionalModifier(ib_depth=ib_depth)
+        self.modifier.set_router_type(role is RouterRole.LSR)
+        self._mirrored_ilm_generation = -1
+        #: destination (int) -> label cached at level 1, in LRU order
+        #: (oldest first); bounded by the information base depth, with
+        #: hardware remove_pair evicting the LRU entry when full
+        self._flow_cache: "OrderedDict[int, int]" = OrderedDict()
+        #: level-1 slots not consumed by mirrored ILM entries
+        self._flow_cache_capacity = ib_depth
+        # -- accounting ----------------------------------------------------
+        self.hw_data_cycles = 0
+        self.hw_control_cycles = 0
+        self.slow_path_packets = 0
+        self.fast_path_packets = 0
+        self.flow_cache_evictions = 0
+
+    # -- information-base synchronization ---------------------------------
+    def _sync_info_base(self) -> None:
+        if self.ilm.generation == self._mirrored_ilm_generation:
+            return
+        cycles = self.modifier.reset()
+        self._flow_cache.clear()
+        for label, nhlfe in self.ilm:
+            out_label = nhlfe.out_label
+            op = nhlfe.op
+            if op is LabelOp.POP:
+                stored_label, stored_op = 16, LabelOp.POP
+            elif op in (LabelOp.SWAP, LabelOp.PUSH):
+                stored_label, stored_op = out_label, op
+            else:
+                continue  # NOOP entries stay software-only
+            # a label can arrive at any stack depth: mirror per level
+            for level in (1, 2, 3):
+                cycles += self.modifier.write_pair(
+                    level, label, stored_label, stored_op
+                )
+        self.modifier.set_router_type(self.role is RouterRole.LSR)
+        self._mirrored_ilm_generation = self.ilm.generation
+        # whatever level 1 doesn't hold for the ILM is flow-cache space
+        mirrored = self.modifier.ib_counts()[0]
+        self._flow_cache_capacity = max(0, self.modifier.ib_depth - mirrored)
+        self.hw_control_cycles += cycles
+
+    # -- the hardware data path ---------------------------------------------
+    def receive(
+        self, packet: Union[IPv4Packet, MPLSPacket]
+    ) -> ForwardingDecision:
+        self.stats.received += 1
+        self._sync_info_base()
+        if isinstance(packet, MPLSPacket):
+            decision = self._hw_transit(packet)
+        elif self.is_edge:
+            decision = self._hw_ingress(packet)
+        else:
+            decision = ForwardingDecision(
+                Action.DISCARD,
+                reason=f"{self.name}: unlabelled packet at a core LSR",
+            )
+        decision = self._fill_interface(decision)
+        self.stats.record(decision)
+        return decision
+
+    def _load_stack(self, stack: LabelStack) -> int:
+        cycles = 0
+        for entry in reversed(list(stack)):
+            cycles += self.modifier.user_push(entry)
+        return cycles
+
+    def _drain_stack(self) -> int:
+        cycles = 0
+        while self.modifier.stack():
+            _, c = self.modifier.user_pop()
+            cycles += c
+        return cycles
+
+    def _hw_transit(self, packet: MPLSPacket) -> ForwardingDecision:
+        if packet.stack.is_empty:
+            return ForwardingDecision(
+                Action.DISCARD,
+                reason=f"{self.name}: labelled packet with empty stack",
+            )
+        top = packet.stack.top
+        nhlfe = self.ilm.get(top.label)
+        cycles = self._load_stack(packet.stack)
+        result = self.modifier.update()
+        cycles += result.cycles
+        if result.discarded:
+            self.hw_data_cycles += cycles
+            self.fast_path_packets += 1
+            reason = (
+                f"{self.name}: MPLS TTL expired"
+                if nhlfe is not None and top.ttl <= 1
+                else f"{self.name}: no ILM entry for label {top.label}"
+            )
+            return ForwardingDecision(Action.DISCARD, reason=reason)
+        new_stack = LabelStack(list(result.stack))
+        cycles += self._drain_stack()
+        self.hw_data_cycles += cycles
+        self.fast_path_packets += 1
+        next_hop = nhlfe.next_hop if nhlfe is not None else None
+        out_interface = nhlfe.out_interface if nhlfe is not None else None
+        if new_stack.is_empty:
+            inner = packet.inner
+            inner = inner.with_ttl(min(max(0, top.ttl - 1), inner.ttl))
+            return ForwardingDecision(
+                Action.FORWARD_IP,
+                packet=inner,
+                next_hop=next_hop,
+                out_interface=out_interface,
+            )
+        return ForwardingDecision(
+            Action.FORWARD_MPLS,
+            packet=packet.with_stack(new_stack),
+            next_hop=next_hop,
+            out_interface=out_interface,
+        )
+
+    def _hw_ingress(self, packet: IPv4Packet) -> ForwardingDecision:
+        dst = packet.identifier()
+        cached_label = self._flow_cache.get(dst)
+        if cached_label is None:
+            # slow path: software classification, then learn into the
+            # level-1 flow cache
+            self.slow_path_packets += 1
+            pair = self.ftn.get(packet)
+            if pair is None:
+                return ForwardingDecision(
+                    Action.DISCARD,
+                    reason=f"{self.name}: no FEC matches packet to {packet.dst}",
+                )
+            _fec, nhlfe = pair
+            if nhlfe.op is not LabelOp.PUSH:
+                # unlabelled forwarding (e.g. PHP-adjacent): software path
+                if packet.ttl <= 1:
+                    return ForwardingDecision(
+                        Action.DISCARD,
+                        reason=f"{self.name}: IPv4 TTL expired at ingress",
+                    )
+                return ForwardingDecision(
+                    Action.FORWARD_IP,
+                    packet=packet.decremented(),
+                    next_hop=nhlfe.next_hop,
+                    out_interface=nhlfe.out_interface,
+                )
+            if self._flow_cache_capacity == 0:
+                # no level-1 space at all: forward in software
+                return self._software_ingress(packet, nhlfe)
+            if len(self._flow_cache) >= self._flow_cache_capacity:
+                # evict the least recently used destination through the
+                # hardware's remove path, keeping dict and IB in step
+                old_dst, _ = self._flow_cache.popitem(last=False)
+                removal = self.modifier.remove_pair(1, old_dst)
+                self.hw_control_cycles += removal.cycles
+                self.flow_cache_evictions += 1
+            self.hw_control_cycles += self.modifier.write_pair(
+                1, dst, nhlfe.out_label, LabelOp.PUSH
+            )
+            self._flow_cache[dst] = nhlfe.out_label
+            cached_label = nhlfe.out_label
+        else:
+            self._flow_cache.move_to_end(dst)
+            self.fast_path_packets += 1
+        nhlfe = self._ingress_nhlfe_for(packet, cached_label)
+        cos = (
+            nhlfe.cos
+            if nhlfe is not None and nhlfe.cos is not None
+            else _dscp_to_cos(packet.dscp)
+        )
+        result = self.modifier.update(
+            packet_id=dst, ttl=packet.ttl, cos=cos
+        )
+        self.hw_data_cycles += result.cycles
+        if result.discarded:
+            self._drain_stack()
+            return ForwardingDecision(
+                Action.DISCARD,
+                reason=f"{self.name}: IPv4 TTL expired at ingress"
+                if packet.ttl <= 1
+                else f"{self.name}: hardware discard at ingress",
+            )
+        new_stack = LabelStack(list(result.stack))
+        self.hw_data_cycles += self._drain_stack()
+        inner = packet.decremented()
+        return ForwardingDecision(
+            Action.FORWARD_MPLS,
+            packet=MPLSPacket(new_stack, inner),
+            next_hop=nhlfe.next_hop if nhlfe is not None else None,
+            out_interface=nhlfe.out_interface if nhlfe is not None else None,
+        )
+
+    def _software_ingress(
+        self, packet: IPv4Packet, nhlfe
+    ) -> ForwardingDecision:
+        """Pure-software push, used when the flow cache has no space.
+
+        Semantically identical to
+        :meth:`~repro.mpls.forwarding.ForwardingEngine.ingress`.
+        """
+        if packet.ttl <= 1:
+            return ForwardingDecision(
+                Action.DISCARD,
+                reason=f"{self.name}: IPv4 TTL expired at ingress",
+            )
+        from repro.mpls.label import LabelEntry
+
+        inner = packet.decremented()
+        cos = (
+            nhlfe.cos if nhlfe.cos is not None else _dscp_to_cos(packet.dscp)
+        )
+        stack = LabelStack().push(
+            LabelEntry(label=nhlfe.out_label, cos=cos, ttl=inner.ttl)
+        )
+        return ForwardingDecision(
+            Action.FORWARD_MPLS,
+            packet=MPLSPacket(stack, inner),
+            next_hop=nhlfe.next_hop,
+            out_interface=nhlfe.out_interface,
+        )
+
+    def _ingress_nhlfe_for(self, packet: IPv4Packet, label: int):
+        pair = self.ftn.get(packet)
+        return pair[1] if pair is not None else None
+
+    # -- statistics ---------------------------------------------------------
+    @property
+    def mean_hw_cycles_per_packet(self) -> float:
+        total = self.fast_path_packets + self.slow_path_packets
+        return self.hw_data_cycles / total if total else 0.0

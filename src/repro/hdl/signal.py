@@ -1,0 +1,192 @@
+"""Width-checked signals: the wires and registers of the RTL model.
+
+Two signal kinds exist, matching the two roles a net plays in a
+synchronous design:
+
+* :class:`Wire` -- a combinational net.  Its value is (re)driven during
+  the settle phase of every cycle by exactly one combinational process.
+  Reading an undriven wire returns its ``default``.
+* :class:`Reg` -- a clocked register.  Combinational logic *stages* the
+  next value via :meth:`Reg.stage`; the simulator commits all staged
+  values atomically on the clock edge.  Between edges, reads always
+  observe the pre-edge value, which is what gives the simulation its
+  race-free, cycle-accurate semantics.
+
+All signals carry a bit ``width`` and reject out-of-range values, so a
+modelling bug that would silently truncate in Python is caught loudly
+(the hardware analogue -- a too-narrow bus -- is one of the classic RTL
+mistakes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SignalError(Exception):
+    """Base class for signal misuse (double-drive, bad stage, ...)."""
+
+
+class WidthError(SignalError, ValueError):
+    """A value does not fit in the signal's declared bit width."""
+
+
+class Signal:
+    """Common behaviour for wires and registers.
+
+    Parameters
+    ----------
+    name:
+        Hierarchical name used in traces and error messages.
+    width:
+        Bit width; values must satisfy ``0 <= value < 2**width``.
+    default:
+        Reset / undriven value.
+    """
+
+    __slots__ = ("name", "width", "default", "_value", "_max")
+
+    def __init__(self, name: str, width: int = 1, default: int = 0) -> None:
+        if width < 1:
+            raise WidthError(f"{name}: width must be >= 1, got {width}")
+        self.name = name
+        self.width = width
+        self._max = (1 << width) - 1
+        self.default = self._check(default)
+        self._value = self.default
+
+    def _check(self, value: int) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            value = int(value)
+        if value < 0 or value > self._max:
+            raise WidthError(
+                f"{self.name}: value {value} does not fit in {self.width} bits"
+            )
+        return value
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        """Return the signal to its default value."""
+        self._value = self.default
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Signal):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}[{self.width}]={self._value}>"
+
+
+class Wire(Signal):
+    """A combinational net, driven during the settle phase.
+
+    The simulator clears the *driven* flag at the start of each settle
+    phase; a combinational process then calls :meth:`drive`.  Driving a
+    wire twice in one settle pass with different values indicates two
+    processes fighting over the net and raises :class:`SignalError`.
+    """
+
+    __slots__ = ("_driven",)
+
+    def __init__(self, name: str, width: int = 1, default: int = 0) -> None:
+        super().__init__(name, width, default)
+        self._driven = False
+
+    def begin_settle(self) -> None:
+        """Called by the simulator once at the start of the settle
+        phase: revert to the default (undriven) value."""
+        self._driven = False
+        self._value = self.default
+
+    def clear_driven(self) -> None:
+        """Called between settle passes: keep the value from the
+        previous pass (so early readers observe it) but allow the
+        driver to re-drive."""
+        self._driven = False
+
+    def drive(self, value: int) -> bool:
+        """Drive the wire; returns True if the value changed.
+
+        The change indication is what the simulator's fixed-point
+        iteration uses to decide whether another settle pass is needed.
+        """
+        value = self._check(value)
+        if self._driven and self._value != value:
+            raise SignalError(
+                f"wire {self.name} driven to conflicting values "
+                f"{self._value} and {value} in one settle pass"
+            )
+        changed = self._value != value
+        self._value = value
+        self._driven = True
+        return changed
+
+
+class Reg(Signal):
+    """A clocked register with staged-next-value semantics."""
+
+    __slots__ = ("_next", "_staged")
+
+    def __init__(self, name: str, width: int = 1, default: int = 0) -> None:
+        super().__init__(name, width, default)
+        self._next: Optional[int] = None
+        self._staged = False
+
+    def stage(self, value: int) -> None:
+        """Stage ``value`` to be committed at the next clock edge."""
+        self._next = self._check(value)
+        self._staged = True
+
+    @property
+    def staged(self) -> bool:
+        return self._staged
+
+    @property
+    def next_value(self) -> int:
+        """The value this register will hold after the next edge."""
+        return self._next if self._staged else self._value
+
+    def unstage(self) -> None:
+        """Discard any staged value.
+
+        Called by the simulator between settle passes: combinational
+        logic re-runs every pass, so only the final pass's staging may
+        survive.  Without this, a stage() performed under a condition
+        that a later pass revokes (e.g. a comparator output before its
+        inputs settled) would commit stale data.
+        """
+        self._next = None
+        self._staged = False
+
+    def commit(self) -> bool:
+        """Clock edge: adopt the staged value.  Returns True on change."""
+        if not self._staged:
+            return False
+        changed = self._value != self._next
+        self._value = self._next  # type: ignore[assignment]
+        self._next = None
+        self._staged = False
+        return changed
+
+    def reset(self) -> None:
+        super().reset()
+        self._next = None
+        self._staged = False

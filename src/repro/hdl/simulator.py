@@ -1,0 +1,197 @@
+"""Two-phase synchronous simulator.
+
+Every simulated clock cycle runs in two phases:
+
+1. **Settle** -- all combinational processes are evaluated repeatedly
+   until no wire changes value (a fixed point).  The iteration bound
+   catches combinational loops, which are modelling errors.
+2. **Tick** -- all sequential elements (registers, memories, FSM state)
+   commit their staged updates atomically, then tracing hooks observe
+   the new architectural state.
+
+Components register themselves with the simulator on construction, so a
+design is simply a tree of :class:`Component` objects sharing one
+:class:`Simulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.hdl.signal import Reg, Signal, Wire
+
+
+class CombinationalLoopError(RuntimeError):
+    """The settle phase did not reach a fixed point.
+
+    Raised when wires keep changing after ``max_settle_passes``
+    iterations -- the Python analogue of an unstable combinational loop
+    in RTL.
+    """
+
+
+class Component:
+    """Base class for everything that lives in the simulated design.
+
+    Subclasses override any of:
+
+    * :meth:`settle` -- combinational logic; read any signal, drive
+      wires, stage registers.  May run several times per cycle and must
+      therefore be side-effect free apart from signal updates.
+    * :meth:`tick` -- sequential commit beyond plain :class:`Reg`
+      commits (e.g. memory arrays).  Runs exactly once per cycle.
+    * :meth:`reset` -- return internal state to power-on values.
+    """
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        self.sim = sim
+        self.name = name
+        sim._register_component(self)
+
+    # -- construction helpers ------------------------------------------------
+    def wire(self, name: str, width: int = 1, default: int = 0) -> Wire:
+        return self.sim.add_wire(f"{self.name}.{name}", width, default)
+
+    def reg(self, name: str, width: int = 1, default: int = 0) -> Reg:
+        return self.sim.add_reg(f"{self.name}.{name}", width, default)
+
+    # -- simulation hooks ----------------------------------------------------
+    def settle(self) -> None:  # pragma: no cover - default no-op
+        """Combinational logic; may run multiple times per cycle."""
+
+    def tick(self) -> None:  # pragma: no cover - default no-op
+        """Extra sequential commit work (memories etc.)."""
+
+    def reset(self) -> None:  # pragma: no cover - default no-op
+        """Restore power-on state beyond signal defaults."""
+
+
+class Simulator:
+    """Owns the clock, the signal table, and the component list.
+
+    Parameters
+    ----------
+    max_settle_passes:
+        Upper bound on fixed-point iterations per cycle before a
+        :class:`CombinationalLoopError` is raised.  Real designs here
+        settle in a handful of passes.
+    """
+
+    def __init__(self, max_settle_passes: int = 64) -> None:
+        self.max_settle_passes = max_settle_passes
+        self.cycle = 0
+        self._components: List[Component] = []
+        self._wires: List[Wire] = []
+        self._regs: List[Reg] = []
+        self._signals: Dict[str, Signal] = {}
+        self._tick_hooks: List[Callable[[int], None]] = []
+
+    # -- registration ----------------------------------------------------
+    def _register_component(self, component: Component) -> None:
+        self._components.append(component)
+
+    def add_wire(self, name: str, width: int = 1, default: int = 0) -> Wire:
+        wire = Wire(name, width, default)
+        self._add_signal(wire)
+        self._wires.append(wire)
+        return wire
+
+    def add_reg(self, name: str, width: int = 1, default: int = 0) -> Reg:
+        reg = Reg(name, width, default)
+        self._add_signal(reg)
+        self._regs.append(reg)
+        return reg
+
+    def _add_signal(self, signal: Signal) -> None:
+        if signal.name in self._signals:
+            raise ValueError(f"duplicate signal name {signal.name!r}")
+        self._signals[signal.name] = signal
+
+    @property
+    def signals(self) -> Dict[str, Signal]:
+        """Name -> signal mapping (read-only view by convention)."""
+        return self._signals
+
+    def signal(self, name: str) -> Signal:
+        return self._signals[name]
+
+    def on_tick(self, hook: Callable[[int], None]) -> None:
+        """Register a hook called after each clock edge with the cycle
+        number just completed (used by waveform recorders)."""
+        self._tick_hooks.append(hook)
+
+    # -- simulation ------------------------------------------------------
+    def _settle(self) -> None:
+        for wire in self._wires:
+            wire.begin_settle()
+        for pass_index in range(self.max_settle_passes):
+            before = [w.value for w in self._wires]
+            if pass_index:
+                for wire in self._wires:
+                    wire.clear_driven()
+                # conditional stages from earlier passes may rest on
+                # wire values that this pass revises; only the final
+                # pass's staging is authoritative
+                for reg in self._regs:
+                    reg.unstage()
+            for component in self._components:
+                component.settle()
+            after = [w.value for w in self._wires]
+            if before == after:
+                return
+        raise CombinationalLoopError(
+            f"combinational logic failed to settle within "
+            f"{self.max_settle_passes} passes at cycle {self.cycle}"
+        )
+
+    def step(self, cycles: int = 1) -> int:
+        """Advance the clock by ``cycles`` edges; returns the new cycle
+        count."""
+        for _ in range(cycles):
+            self._settle()
+            for reg in self._regs:
+                reg.commit()
+            for component in self._components:
+                component.tick()
+            self.cycle += 1
+            for hook in self._tick_hooks:
+                hook(self.cycle)
+        return self.cycle
+
+    def settle_only(self) -> None:
+        """Settle combinational logic without advancing the clock.
+
+        Useful for observing Mealy outputs that depend on inputs applied
+        since the last edge.
+        """
+        self._settle()
+
+    def run_until(
+        self,
+        condition: Callable[[], bool],
+        max_cycles: int = 100_000,
+    ) -> int:
+        """Step until ``condition()`` is true *after* a clock edge.
+
+        Returns the number of cycles consumed.  Raises ``TimeoutError``
+        if the condition does not become true within ``max_cycles`` --
+        in a cycle-accurate model an unbounded wait is always a bug.
+        """
+        start = self.cycle
+        for _ in range(max_cycles):
+            self.step()
+            if condition():
+                return self.cycle - start
+        raise TimeoutError(
+            f"condition not met within {max_cycles} cycles "
+            f"(started at cycle {start})"
+        )
+
+    def reset(self) -> None:
+        """Asynchronous reset: all signals to defaults, components to
+        power-on state, cycle counter rezeroed."""
+        for signal in self._signals.values():
+            signal.reset()
+        for component in self._components:
+            component.reset()
+        self.cycle = 0

@@ -1,0 +1,271 @@
+"""Transaction-level driver for the label stack modifier.
+
+The driver plays the role of the paper's "user" (and of the ingress
+packet-processing module): it presents a command on the modifier's
+input wires for one clock cycle, then steps the simulator until the
+combined ``done`` pulse is observed with every control FSM back in
+IDLE.  The number of clock edges from command issue to completion is
+the transaction's exact cycle count -- the quantity Table 6 reports.
+
+Transactions:
+
+=====================  =======================================
+:meth:`reset`          3 cycles (Table 6 "Reset")
+:meth:`user_push`      3 cycles ("push from the user")
+:meth:`user_pop`       3 cycles ("pop from the user")
+:meth:`write_pair`     3 cycles ("Write label pair")
+:meth:`search`         3n + 5 worst case ("Search information base")
+:meth:`update`         search + 6 for swap/pop ("swap from the
+                       information base"), +7 for a nested push
+=====================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.hdl.signal import Wire
+from repro.hdl.simulator import Component, Simulator
+from repro.hw.modifier import LabelStackModifier
+from repro.hw.opcodes import (
+    MgmtResult,
+    ReadEntryResult,
+    SearchResult,
+    UpdateResult,
+    UserOp,
+)
+from repro.mpls.label import LabelEntry, LabelOp
+
+#: Table 6's fixed reset cost.
+RESET_CYCLES = 3
+
+#: Safety bound on any single transaction (a full 1024-entry search is
+#: 3077 cycles; anything an order of magnitude beyond that is a hang).
+MAX_TRANSACTION_CYCLES = 40_000
+
+
+class _WireDriver(Component):
+    """Holds requested wire values and drives them each settle pass."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        super().__init__(sim, name)
+        self._values: Dict[Wire, int] = {}
+
+    def set(self, wire: Wire, value: int) -> None:
+        self._values[wire] = value
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def settle(self) -> None:
+        for wire, value in self._values.items():
+            wire.drive(value)
+
+
+class ModifierDriver:
+    """Issues operations against a :class:`LabelStackModifier` and
+    reports exact cycle counts."""
+
+    def __init__(self, modifier: Optional[LabelStackModifier] = None, **kwargs) -> None:
+        self.modifier = modifier if modifier is not None else LabelStackModifier(**kwargs)
+        self.sim = self.modifier.sim
+        self._pins = _WireDriver(self.sim, "pins")
+        self.total_cycles = 0
+
+    # -- low-level transaction plumbing -----------------------------------
+    def _issue(self, op: UserOp, **operands: int) -> int:
+        """Present a command for one cycle, run to completion, return
+        the cycle count."""
+        if self.modifier.busy:
+            raise RuntimeError("modifier is busy; cannot issue a command")
+        dp = self.modifier.dp
+        self._pins.set(dp.operation, int(op))
+        for field, value in operands.items():
+            self._pins.set(getattr(dp, field), value)
+        self.sim.step()  # edge 1: the main FSM accepts and latches
+        cycles = 1
+        # the command wires only need to be valid in the accept cycle
+        self._pins.set(dp.operation, int(UserOp.NONE))
+        while cycles < MAX_TRANSACTION_CYCLES:
+            self.sim.step()
+            cycles += 1
+            # Read the registered done pulses directly: registers are
+            # up to date immediately after the edge, whereas the OR'd
+            # `done` wire only refreshes during the next settle phase.
+            done = (
+                self.modifier.search.done.value
+                or self.modifier.ib_iface.done.value
+                or self.modifier.lbl_iface.done.value
+            )
+            if done and not self.modifier.busy:
+                self.total_cycles += cycles
+                return cycles
+        raise TimeoutError(
+            f"{op.name} did not complete within {MAX_TRANSACTION_CYCLES} cycles"
+        )
+
+    def set_router_type(self, is_lsr: bool) -> None:
+        """Configure the ``rtrtype`` pin (Table 3: low = LER, high = LSR)."""
+        self._pins.set(self.modifier.dp.rtrtype, 1 if is_lsr else 0)
+
+    # -- transactions ------------------------------------------------------
+    def reset(self) -> int:
+        """The 3-cycle reset sequence of Table 6."""
+        self.sim.reset()
+        self._pins.clear()
+        self.sim.step(RESET_CYCLES)
+        self.total_cycles += RESET_CYCLES
+        return RESET_CYCLES
+
+    def user_push(self, entry: LabelEntry) -> int:
+        """Push a stack entry supplied directly by the user."""
+        return self._issue(UserOp.USER_PUSH, data_in=entry.encode())
+
+    def user_pop(self) -> Tuple[Optional[LabelEntry], int]:
+        """Pop the top entry; returns (popped entry or None, cycles)."""
+        entries = self.modifier.stack_entries()
+        popped = entries[0] if entries else None
+        cycles = self._issue(UserOp.USER_POP)
+        return popped, cycles
+
+    def write_pair(
+        self,
+        level: int,
+        index: int,
+        new_label: int,
+        op: LabelOp,
+    ) -> int:
+        """Store a label pair + operation at an information-base level.
+
+        ``index`` is the 32-bit packet identifier at level 1 and a
+        20-bit label at levels 2-3 (they travel over different input
+        pins, as in the paper's datapath).
+        """
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        operands = dict(level_in=level, op_in=int(op))
+        if level == 1:
+            operands["packet_id"] = index
+            operands["data_in"] = new_label & 0xFFFFF
+        else:
+            operands["data_in"] = ((index & 0xFFFFF) << 20) | (new_label & 0xFFFFF)
+        return self._issue(UserOp.WRITE_PAIR, **operands)
+
+    def search(self, level: int, key: int) -> SearchResult:
+        """Look up a label pair (the read path of Figures 14-16)."""
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        operands = dict(level_in=level)
+        if level == 1:
+            operands["packet_id"] = key
+        else:
+            operands["label_lookup"] = key & 0xFFFFF
+        cycles = self._issue(UserOp.SEARCH, **operands)
+        found = bool(self.modifier.search.found.value)
+        return SearchResult(
+            found=found,
+            label=self.modifier.search.label_out.value if found else None,
+            op=LabelOp(self.modifier.search.op_out.value) if found else None,
+            discarded=bool(self.modifier.search.miss.value),
+            cycles=cycles,
+        )
+
+    def update(
+        self,
+        packet_id: int = 0,
+        ttl: int = 64,
+        cos: int = 0,
+    ) -> UpdateResult:
+        """Run the full Figure 9 update flow.
+
+        ``packet_id``/``ttl``/``cos`` are only consulted when the stack
+        is empty (the LER ingress case); otherwise the top label keys
+        the search and the TTL comes from the stack entry.
+        """
+        cycles = self._issue(
+            UserOp.UPDATE,
+            packet_id=packet_id,
+            ttl_in=ttl,
+            cos_in=cos,
+        )
+        lbl = self.modifier.lbl_iface
+        discarded = bool(lbl.discard.value)
+        performed = (
+            LabelOp(lbl.performed.value)
+            if lbl.performed_valid.value and not discarded
+            else None
+        )
+        return UpdateResult(
+            performed=performed,
+            discarded=discarded,
+            cycles=cycles,
+            stack=tuple(self.modifier.stack_entries()),
+        )
+
+    # -- information-base management ---------------------------------------
+    def modify_pair(
+        self, level: int, index: int, new_label: int, op: LabelOp
+    ) -> MgmtResult:
+        """Rewrite an existing pair's label and operation in place.
+
+        The pair is located by a search on ``index``; an absent index
+        reports ``found=False`` and changes nothing.
+        """
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        operands = dict(level_in=level, op_in=int(op))
+        if level == 1:
+            operands["packet_id"] = index
+            operands["data_in"] = new_label & 0xFFFFF
+        else:
+            operands["label_lookup"] = index & 0xFFFFF
+            operands["data_in"] = ((index & 0xFFFFF) << 20) | (
+                new_label & 0xFFFFF
+            )
+        cycles = self._issue(UserOp.MODIFY_PAIR, **operands)
+        return MgmtResult(
+            found=bool(self.modifier.ib_iface.mgmt_found.value),
+            cycles=cycles,
+        )
+
+    def remove_pair(self, level: int, index: int) -> MgmtResult:
+        """Delete the pair keyed by ``index`` (the last stored pair
+        fills the hole, keeping the array dense)."""
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        operands = dict(level_in=level)
+        if level == 1:
+            operands["packet_id"] = index
+        else:
+            operands["label_lookup"] = index & 0xFFFFF
+        cycles = self._issue(UserOp.REMOVE_PAIR, **operands)
+        return MgmtResult(
+            found=bool(self.modifier.ib_iface.mgmt_found.value),
+            cycles=cycles,
+        )
+
+    def read_entry(self, level: int, address: int) -> ReadEntryResult:
+        """Read the pair stored at ``address`` directly (no search)."""
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        if address < 0:
+            raise ValueError(f"negative address {address}")
+        cycles = self._issue(
+            UserOp.READ_ENTRY, level_in=level, data_in=address & 0x7FF
+        )
+        iface = self.modifier.ib_iface
+        valid = bool(iface.mgmt_found.value)
+        return ReadEntryResult(
+            valid=valid,
+            index=iface.rd_out_index.value if valid else None,
+            label=iface.rd_out_label.value if valid else None,
+            op=LabelOp(iface.rd_out_op.value) if valid else None,
+            cycles=cycles,
+        )
+
+    # -- inspection ---------------------------------------------------------
+    def stack(self):
+        return self.modifier.stack_entries()
+
+    def ib_counts(self):
+        return self.modifier.ib_counts()

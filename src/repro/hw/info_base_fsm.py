@@ -1,0 +1,235 @@
+"""The information-base interface state machine (paper Figure 10),
+extended with the management operations the paper names.
+
+Enabled by the main FSM for everything that touches the information
+base directly:
+
+* ``WRITE PAIR`` -- append a label pair ("Writing a label pair to the
+  information base is done through direct manipulation of the data
+  path"),
+* ``SEARCH ENABLE`` -- delegate a lookup to the search machine,
+* ``MODIFY_PAIR`` -- search for an index, then rewrite its label and
+  operation in place,
+* ``REMOVE_PAIR`` -- search for an index, then delete the pair by
+  copying the last stored pair into the hole and decrementing the
+  write counter (constant work after the search, preserving the dense
+  array the linear search depends on),
+* ``READ_ENTRY`` -- read the pair at a caller-supplied address
+  directly (the paper's "search index when the user wants to read the
+  contents of the information base directly").
+
+Measured cycle costs beyond the paper's Table 6 (asserted in tests):
+modify = search + 2, remove = search + 4, miss on either = full scan
++ 1, direct read = 5 fixed.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.fsm import FSM, State
+from repro.hdl.simulator import Simulator
+from repro.hw.datapath import Datapath
+from repro.hw.opcodes import UserOp
+from repro.hw.search_fsm import SearchFSM
+
+STATES = [
+    "IDLE",
+    "WRITE_PAIR",
+    "SEARCH",
+    "SEARCH_MODIFY",
+    "MOD_WRITE",
+    "SEARCH_REMOVE",
+    "RM_READ_LAST",
+    "RM_WAIT",
+    "RM_WRITE",
+    "READ_ADDR",
+    "READ_WAIT",
+    "MGMT_DONE",
+]
+
+
+class InfoBaseInterfaceFSM(FSM):
+    """Figure 10 plus the add/modify/remove/read management path."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dp: Datapath,
+        search: SearchFSM,
+        name: str = "ib_iface",
+    ) -> None:
+        super().__init__(sim, name, STATES)
+        self.dp = dp
+        self.search = search
+        #: Driven by the main FSM (the paper's ``enableibint``).
+        self.enable = self.wire("enable", 1)
+        #: Moore/Mealy "last active cycle" indication (``ibready``).
+        self.finishing = self.wire("finishing", 1)
+        #: Registered done pulse (``dnibupdate``).
+        self.done = self.reg("done", 1)
+        # -- management results ------------------------------------------
+        #: The found/valid flag of the last management operation.
+        self.mgmt_found = self.reg("mgmt_found", 1)
+        #: Address the search hit (captured for the write-back).
+        self.mgmt_addr = self.reg("mgmt_addr", 11)
+        #: Direct-read outputs.
+        self.rd_out_index = self.reg("rd_out_index", 32)
+        self.rd_out_label = self.reg("rd_out_label", 20)
+        self.rd_out_op = self.reg("rd_out_op", 2)
+
+    # -- helpers --------------------------------------------------------
+    def _level(self):
+        num = self.dp.lat_level.value
+        return self.dp.info_base.level(num if num in (1, 2, 3) else 1)
+
+    def _search_key(self) -> int:
+        if self.dp.lat_level.value == 1:
+            return self.dp.lat_packet_id.value
+        return self.dp.lat_label_lookup.value
+
+    def _drive_search(self) -> None:
+        self.search.req.drive(1)
+        self.search.req_level.drive(self.dp.lat_level.value)
+        self.search.req_key.drive(self._search_key())
+
+    def _read_addr(self) -> int:
+        """The direct-read address: low bits of the data input."""
+        level = self._level()
+        return min(
+            self.dp.lat_data.value & ((1 << 11) - 1), level.depth - 1
+        )
+
+    def output(self) -> None:
+        state = self.state_name
+        dp = self.dp
+        if state in ("WRITE_PAIR", "MGMT_DONE"):
+            self.finishing.drive(1)
+        elif state == "SEARCH":
+            # retire on the same edge the search machine does
+            self.finishing.drive(self.search.finishing.value)
+        else:
+            self.finishing.drive(0)
+        if state == "WRITE_PAIR":
+            level_num = dp.lat_level.value
+            level = self._level()
+            level.wr_en.drive(1)
+            if level_num == 1:
+                # level 1 is keyed by the 32-bit packet identifier
+                level.wr_index.drive(dp.lat_packet_id.value)
+            else:
+                # levels 2-3 take the index half of the 40-bit pair
+                level.wr_index.drive(dp.lat_pair_index)
+            level.wr_label.drive(dp.lat_pair_label)
+            level.wr_op.drive(dp.lat_op_in.value)
+        elif state == "SEARCH":
+            self._drive_search()
+        elif state in ("SEARCH_MODIFY", "SEARCH_REMOVE"):
+            self._drive_search()
+        elif state == "MOD_WRITE":
+            level = self._level()
+            level.wr_en.drive(1)
+            level.wr_addr_override.drive(1)
+            level.wr_addr_ext.drive(self.mgmt_addr.value)
+            if dp.lat_level.value == 1:
+                level.wr_index.drive(dp.lat_packet_id.value)
+            else:
+                level.wr_index.drive(dp.lat_pair_index)
+            level.wr_label.drive(dp.lat_pair_label)
+            level.wr_op.drive(dp.lat_op_in.value)
+        elif state in ("RM_READ_LAST", "RM_WAIT"):
+            # present the last stored pair's address; its registered
+            # read is valid from RM_WAIT onward
+            level = self._level()
+            level.rd_addr_override.drive(1)
+            level.rd_addr_ext.drive(max(0, level.count - 1))
+        elif state == "RM_WRITE":
+            # copy the last pair into the hole and shrink the count
+            level = self._level()
+            level.wr_en.drive(1)
+            level.wr_addr_override.drive(1)
+            level.wr_addr_ext.drive(self.mgmt_addr.value)
+            level.wr_index.drive(level.rd_index)
+            level.wr_label.drive(level.rd_label)
+            level.wr_op.drive(level.rd_op)
+            level.count_dec.drive(1)
+        elif state in ("READ_ADDR", "READ_WAIT"):
+            level = self._level()
+            level.rd_addr_override.drive(1)
+            level.rd_addr_ext.drive(self._read_addr())
+
+    def transition(self) -> State:
+        state = self.state_name
+        if state == "IDLE":
+            self.done.stage(0)
+            if self.enable.value:
+                op = self.dp.lat_op.value
+                if op == UserOp.WRITE_PAIR:
+                    return self.s("WRITE_PAIR")
+                if op == UserOp.SEARCH:
+                    return self.s("SEARCH")
+                if op == UserOp.MODIFY_PAIR:
+                    return self.s("SEARCH_MODIFY")
+                if op == UserOp.REMOVE_PAIR:
+                    return self.s("SEARCH_REMOVE")
+                if op == UserOp.READ_ENTRY:
+                    return self.s("READ_ADDR")
+            return self.s("IDLE")
+
+        if state == "WRITE_PAIR":
+            self.done.stage(1)
+            return self.s("IDLE")
+
+        if state == "SEARCH":
+            # the search machine's done pulse is the transaction's done
+            if self.search.finishing.value:
+                return self.s("IDLE")
+            return self.s("SEARCH")
+
+        if state == "SEARCH_MODIFY":
+            if self.search.finishing.value:
+                if self.search.found.value:
+                    self.mgmt_found.stage(1)
+                    self.mgmt_addr.stage(
+                        self._level().read_counter.count.value
+                    )
+                    return self.s("MOD_WRITE")
+                self.mgmt_found.stage(0)
+                return self.s("MGMT_DONE")
+            return self.s("SEARCH_MODIFY")
+
+        if state == "MOD_WRITE":
+            return self.s("MGMT_DONE")
+
+        if state == "SEARCH_REMOVE":
+            if self.search.finishing.value:
+                if self.search.found.value:
+                    self.mgmt_found.stage(1)
+                    self.mgmt_addr.stage(
+                        self._level().read_counter.count.value
+                    )
+                    return self.s("RM_READ_LAST")
+                self.mgmt_found.stage(0)
+                return self.s("MGMT_DONE")
+            return self.s("SEARCH_REMOVE")
+
+        if state == "RM_READ_LAST":
+            return self.s("RM_WAIT")
+        if state == "RM_WAIT":
+            return self.s("RM_WRITE")
+        if state == "RM_WRITE":
+            return self.s("MGMT_DONE")
+
+        if state == "READ_ADDR":
+            self.mgmt_found.stage(
+                1 if self._read_addr() < self._level().count else 0
+            )
+            return self.s("READ_WAIT")
+        if state == "READ_WAIT":
+            level = self._level()
+            self.rd_out_index.stage(level.rd_index)
+            self.rd_out_label.stage(level.rd_label)
+            self.rd_out_op.stage(level.rd_op)
+            return self.s("MGMT_DONE")
+
+        # MGMT_DONE
+        self.done.stage(1)
+        return self.s("IDLE")

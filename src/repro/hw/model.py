@@ -1,0 +1,327 @@
+"""A fast functional model of the label stack modifier.
+
+Implements exactly the same transaction semantics as the RTL
+(:mod:`repro.hw.modifier` driven by :mod:`repro.hw.driver`) with cycle
+counts computed from the Table 6 formulas instead of simulated clock
+edges.  Two uses:
+
+* as the *golden reference* the RTL is checked against on randomized
+  operation sequences (``tests/hw/test_rtl_vs_model.py``), and
+* as the per-packet hardware cost model inside network-scale
+  simulations (:mod:`repro.core.architecture`), where stepping the RTL
+  for every packet would dominate the run time without changing any
+  result -- the equivalence tests are what justify the substitution.
+
+The model mirrors the hardware's quirks deliberately: linear search
+with first-match-wins, discard-clears-the-stack, level-1 keys that are
+either packet identifiers (ingress) or zero-extended labels (depth-1
+lookups), and the LER/LSR consistency checks of VERIFY_INFO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.hw.opcodes import (
+    MgmtResult,
+    ReadEntryResult,
+    SearchResult,
+    UpdateResult,
+)
+from repro.mpls.label import LabelEntry, LabelOp
+
+#: Table 6 constants.
+RESET_CYCLES = 3
+USER_PUSH_CYCLES = 3
+USER_POP_CYCLES = 3
+WRITE_PAIR_CYCLES = 3
+
+#: Fixed overhead of a search (the +5 of "3n + 5").
+SEARCH_OVERHEAD = 5
+#: Cycles per examined entry.
+SEARCH_PER_ENTRY = 3
+#: A hit at 0-based entry ``k`` costs ``3k + 8``; an exhaustive miss
+#: over ``n`` entries costs ``3n + 5`` (the two agree at k = n-1).
+SEARCH_HIT_BASE = 8
+
+#: Post-search costs of the update flow (GET_RESULT through DONE).
+SWAP_TAIL_CYCLES = 6
+POP_TAIL_CYCLES = 6
+PUSH_TAIL_CYCLES = 7        # visits PUSH_OLD as well
+INGRESS_PUSH_TAIL_CYCLES = 6
+MISS_TAIL_CYCLES = 2        # GET_RESULT + DISCARD
+VERIFY_FAIL_TAIL_CYCLES = 5  # GET_RESULT..VERIFY_INFO + DISCARD
+
+#: Management extension costs beyond the search (measured on the RTL,
+#: asserted equal in the equivalence tests).
+MODIFY_TAIL_CYCLES = 2
+REMOVE_TAIL_CYCLES = 4
+MGMT_MISS_TAIL_CYCLES = 1
+READ_ENTRY_CYCLES = 5
+
+#: Architecture limits.
+MAX_LEVELS = 3
+
+
+def search_cycles(n_entries: int, hit_position: Optional[int]) -> int:
+    """The Table 6 search cost for a level holding ``n_entries``.
+
+    ``hit_position`` is the 0-based index of the matching pair, or
+    ``None`` for a miss (exhaustive scan).
+    """
+    if hit_position is None:
+        return SEARCH_PER_ENTRY * n_entries + SEARCH_OVERHEAD
+    return SEARCH_PER_ENTRY * hit_position + SEARCH_HIT_BASE
+
+
+@dataclass
+class _Level:
+    pairs: List[Tuple[int, int, int]] = field(default_factory=list)
+    overflow: bool = False
+
+
+class FunctionalModifier:
+    """Drop-in functional equivalent of
+    :class:`~repro.hw.driver.ModifierDriver`."""
+
+    def __init__(self, ib_depth: int = 1024, stack_capacity: int = 8) -> None:
+        self.ib_depth = ib_depth
+        self.stack_capacity = stack_capacity
+        self._levels = [_Level(), _Level(), _Level()]
+        self._stack: List[LabelEntry] = []  # index 0 is the top
+        self._is_lsr = False
+        self.stack_error = False
+        self.total_cycles = 0
+
+    # -- configuration ------------------------------------------------------
+    def set_router_type(self, is_lsr: bool) -> None:
+        self._is_lsr = is_lsr
+
+    # -- transactions ------------------------------------------------------
+    def reset(self) -> int:
+        self._levels = [_Level(), _Level(), _Level()]
+        self._stack = []
+        self._is_lsr = False
+        self.stack_error = False
+        self.total_cycles += RESET_CYCLES
+        return RESET_CYCLES
+
+    def user_push(self, entry: LabelEntry) -> int:
+        if len(self._stack) >= self.stack_capacity:
+            self.stack_error = True
+        else:
+            self._stack.insert(0, entry)
+        self.total_cycles += USER_PUSH_CYCLES
+        return USER_PUSH_CYCLES
+
+    def user_pop(self) -> Tuple[Optional[LabelEntry], int]:
+        popped = None
+        if self._stack:
+            popped = self._stack.pop(0)
+        else:
+            self.stack_error = True
+        self.total_cycles += USER_POP_CYCLES
+        return popped, USER_POP_CYCLES
+
+    def write_pair(
+        self, level: int, index: int, new_label: int, op: LabelOp
+    ) -> int:
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        lvl = self._levels[level - 1]
+        if len(lvl.pairs) >= self.ib_depth:
+            lvl.overflow = True
+        else:
+            mask = 0xFFFFFFFF if level == 1 else 0xFFFFF
+            lvl.pairs.append((index & mask, new_label & 0xFFFFF, int(op)))
+        self.total_cycles += WRITE_PAIR_CYCLES
+        return WRITE_PAIR_CYCLES
+
+    def _scan(self, level: int, key: int):
+        """Linear first-match scan; returns (position, label, op) or
+        (None, None, None)."""
+        for pos, (index, label, op) in enumerate(self._levels[level - 1].pairs):
+            if index == key:
+                return pos, label, op
+        return None, None, None
+
+    def search(self, level: int, key: int) -> SearchResult:
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        n = len(self._levels[level - 1].pairs)
+        pos, label, op = self._scan(level, key)
+        cycles = search_cycles(n, pos)
+        self.total_cycles += cycles
+        if pos is None:
+            return SearchResult(
+                found=False, label=None, op=None, discarded=True, cycles=cycles
+            )
+        return SearchResult(
+            found=True,
+            label=label,
+            op=LabelOp(op),
+            discarded=False,
+            cycles=cycles,
+        )
+
+    # -- information-base management ---------------------------------------
+    def modify_pair(
+        self, level: int, index: int, new_label: int, op: LabelOp
+    ) -> MgmtResult:
+        """Rewrite an existing pair in place (search + 2 cycles)."""
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        lvl = self._levels[level - 1]
+        mask = 0xFFFFFFFF if level == 1 else 0xFFFFF
+        n = len(lvl.pairs)
+        pos, _, _ = self._scan(level, index & mask)
+        if pos is None:
+            cycles = search_cycles(n, None) + MGMT_MISS_TAIL_CYCLES
+            self.total_cycles += cycles
+            return MgmtResult(found=False, cycles=cycles)
+        lvl.pairs[pos] = (index & mask, new_label & 0xFFFFF, int(op))
+        cycles = search_cycles(n, pos) + MODIFY_TAIL_CYCLES
+        self.total_cycles += cycles
+        return MgmtResult(found=True, cycles=cycles)
+
+    def remove_pair(self, level: int, index: int) -> MgmtResult:
+        """Delete a pair; the last stored pair fills the hole (search
+        + 4 cycles)."""
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        lvl = self._levels[level - 1]
+        mask = 0xFFFFFFFF if level == 1 else 0xFFFFF
+        n = len(lvl.pairs)
+        pos, _, _ = self._scan(level, index & mask)
+        if pos is None:
+            cycles = search_cycles(n, None) + MGMT_MISS_TAIL_CYCLES
+            self.total_cycles += cycles
+            return MgmtResult(found=False, cycles=cycles)
+        lvl.pairs[pos] = lvl.pairs[-1]
+        lvl.pairs.pop()
+        cycles = search_cycles(n, pos) + REMOVE_TAIL_CYCLES
+        self.total_cycles += cycles
+        return MgmtResult(found=True, cycles=cycles)
+
+    def read_entry(self, level: int, address: int) -> ReadEntryResult:
+        """Direct read of the pair at ``address`` (5 fixed cycles)."""
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        if address < 0:
+            raise ValueError(f"negative address {address}")
+        # the RTL clamps the presented address to the memory depth
+        address = min(address & 0x7FF, self.ib_depth - 1)
+        lvl = self._levels[level - 1]
+        self.total_cycles += READ_ENTRY_CYCLES
+        if address >= len(lvl.pairs):
+            return ReadEntryResult(
+                valid=False, index=None, label=None, op=None,
+                cycles=READ_ENTRY_CYCLES,
+            )
+        index, label, op = lvl.pairs[address]
+        return ReadEntryResult(
+            valid=True,
+            index=index,
+            label=label,
+            op=LabelOp(op),
+            cycles=READ_ENTRY_CYCLES,
+        )
+
+    def update(
+        self, packet_id: int = 0, ttl: int = 64, cos: int = 0
+    ) -> UpdateResult:
+        was_empty = not self._stack
+        if was_empty:
+            level, key = 1, packet_id
+            old_ttl, old_cos = ttl, cos
+        else:
+            top = self._stack[0]
+            level = min(len(self._stack), MAX_LEVELS)
+            key = top.label
+            old_ttl, old_cos = top.ttl, top.cos
+        n = len(self._levels[level - 1].pairs)
+        pos, label, op_code = self._scan(level, key)
+
+        if pos is None:
+            cycles = search_cycles(n, None) + MISS_TAIL_CYCLES
+            self._stack = []
+            self.total_cycles += cycles
+            return UpdateResult(
+                performed=None, discarded=True, cycles=cycles, stack=()
+            )
+
+        base = search_cycles(n, pos)
+        op = LabelOp(op_code)
+        new_ttl = (old_ttl - 1) & 0xFF
+
+        def fail() -> UpdateResult:
+            cycles = base + VERIFY_FAIL_TAIL_CYCLES
+            self._stack = []
+            self.total_cycles += cycles
+            return UpdateResult(
+                performed=None, discarded=True, cycles=cycles, stack=()
+            )
+
+        # VERIFY_INFO checks, in the same order as the RTL
+        if old_ttl <= 1:
+            return fail()
+        if op is LabelOp.NOOP:
+            return fail()
+        if was_empty and op is not LabelOp.PUSH:
+            return fail()
+        if was_empty and self._is_lsr:
+            return fail()
+        if op is LabelOp.PUSH and len(self._stack) >= MAX_LEVELS:
+            return fail()
+
+        if op is LabelOp.SWAP:
+            old = self._stack.pop(0)
+            # like PUSH_NEW in the RTL, the S bit is recomputed from
+            # the stack occupancy rather than copied from the old entry
+            s_bit = 1 if not self._stack else 0
+            self._stack.insert(
+                0, LabelEntry(label=label, cos=old.cos, s=s_bit, ttl=new_ttl)
+            )
+            cycles = base + SWAP_TAIL_CYCLES
+        elif op is LabelOp.POP:
+            self._stack.pop(0)
+            if self._stack:
+                exposed = self._stack[0]
+                self._stack[0] = LabelEntry(
+                    label=exposed.label,
+                    cos=exposed.cos,
+                    s=exposed.s,
+                    ttl=new_ttl,
+                )
+            cycles = base + POP_TAIL_CYCLES
+        else:  # PUSH
+            if was_empty:
+                self._stack.insert(
+                    0, LabelEntry(label=label, cos=old_cos, s=1, ttl=new_ttl)
+                )
+                cycles = base + INGRESS_PUSH_TAIL_CYCLES
+            else:
+                old = self._stack.pop(0)
+                self._stack.insert(
+                    0,
+                    LabelEntry(label=old.label, cos=old.cos, s=old.s, ttl=new_ttl),
+                )
+                self._stack.insert(
+                    0, LabelEntry(label=label, cos=old.cos, s=0, ttl=new_ttl)
+                )
+                cycles = base + PUSH_TAIL_CYCLES
+        self.total_cycles += cycles
+        return UpdateResult(
+            performed=op,
+            discarded=False,
+            cycles=cycles,
+            stack=tuple(self._stack),
+        )
+
+    # -- inspection ---------------------------------------------------------
+    def stack(self) -> List[LabelEntry]:
+        return list(self._stack)
+
+    def ib_counts(self) -> Tuple[int, int, int]:
+        return tuple(len(lvl.pairs) for lvl in self._levels)  # type: ignore[return-value]

@@ -1,0 +1,89 @@
+"""Operation encodings and transaction result records.
+
+The user-facing operation alphabet corresponds to the paper's
+``extoperation`` signal ("Indicates the desired operation from the
+user", Tables 1-2); the stack micro-operations are the ``stckctrl``
+encoding of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional, Tuple
+
+from repro.mpls.label import LabelEntry, LabelOp
+
+
+class UserOp(IntEnum):
+    """The ``extoperation`` input: what the user asks the modifier to do.
+
+    Operations 6-8 are the management extensions the paper names but
+    does not detail ("Entries can be added, modified, or removed from
+    the information base" and the direct read path of its datapath
+    description).
+    """
+
+    NONE = 0
+    USER_PUSH = 1    # push a stack entry supplied on data_in
+    USER_POP = 2     # pop the top stack entry
+    WRITE_PAIR = 3   # store a label pair + operation in the info base
+    SEARCH = 4       # look up a label pair (read path of Figs 14-16)
+    UPDATE = 5       # full update: search + verify + push/swap/pop
+    MODIFY_PAIR = 6  # rewrite an existing pair's label/operation in place
+    REMOVE_PAIR = 7  # delete a pair (last entry fills the hole)
+    READ_ENTRY = 8   # read the pair stored at a given address directly
+
+
+class StackOp(IntEnum):
+    """The stack control micro-operations (``stckctrl``/``lblop``)."""
+
+    HOLD = 0
+    PUSH = 1
+    POP = 2
+    CLEAR = 3
+    WRITE_TOP = 4  # rewrite the top entry in place (pop's TTL fix-up)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a SEARCH transaction (Figures 14-16).
+
+    ``cycles`` is the exact clock-cycle count from command issue to the
+    registered ``lookup_done`` pulse.
+    """
+
+    found: bool
+    label: Optional[int]
+    op: Optional[LabelOp]
+    discarded: bool
+    cycles: int
+
+
+@dataclass(frozen=True)
+class MgmtResult:
+    """Outcome of a MODIFY_PAIR / REMOVE_PAIR transaction."""
+
+    found: bool
+    cycles: int
+
+
+@dataclass(frozen=True)
+class ReadEntryResult:
+    """Outcome of a READ_ENTRY transaction (direct memory read)."""
+
+    valid: bool
+    index: Optional[int]
+    label: Optional[int]
+    op: Optional[LabelOp]
+    cycles: int
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of an UPDATE transaction (the Figure 9 flow)."""
+
+    performed: Optional[LabelOp]
+    discarded: bool
+    cycles: int
+    stack: Tuple[LabelEntry, ...]

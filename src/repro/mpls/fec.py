@@ -1,0 +1,128 @@
+"""Forwarding Equivalence Classes (RFC 3031 section 2.1).
+
+A FEC groups packets that are forwarded the same way -- over the same
+LSP with the same treatment.  The ingress LER classifies each unlabelled
+packet into a FEC and maps the FEC to a label via the FTN table.
+
+Three classifiers are provided:
+
+* :class:`PrefixFEC` -- destination address falls in an IPv4 prefix
+  (the common IGP-driven case),
+* :class:`HostFEC` -- destination equals a specific host address,
+* :class:`CoSFEC` -- a wrapper adding a DSCP requirement to another
+  FEC, which is how the paper's QoS motivation (classifying VoIP onto a
+  priority LSP) is expressed.
+
+FECs are ordered by :attr:`FEC.specificity`; the FTN resolves overlaps
+longest-match-first, as an IP RIB would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.net.addressing import IPv4Address, IPv4Prefix
+from repro.net.packet import IPv4Packet
+
+
+class FEC:
+    """Base class: a predicate over IPv4 packets with a specificity."""
+
+    #: Higher wins when several FECs match one packet.
+    specificity: int = 0
+
+    def matches(self, packet: IPv4Packet) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__}>"
+
+
+class PrefixFEC(FEC):
+    """Packets whose destination lies in ``prefix``."""
+
+    __slots__ = ("prefix", "specificity")
+
+    def __init__(self, prefix: Union[str, IPv4Prefix]) -> None:
+        self.prefix = (
+            prefix if isinstance(prefix, IPv4Prefix) else IPv4Prefix(prefix)
+        )
+        self.specificity = self.prefix.length
+
+    def matches(self, packet: IPv4Packet) -> bool:
+        return self.prefix.contains(packet.dst)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrefixFEC) and self.prefix == other.prefix
+
+    def __hash__(self) -> int:
+        return hash(("prefix", self.prefix))
+
+    def __repr__(self) -> str:
+        return f"PrefixFEC('{self.prefix}')"
+
+
+class HostFEC(FEC):
+    """Packets destined to exactly ``host`` (a /32, maximally specific)."""
+
+    __slots__ = ("host", "specificity")
+
+    def __init__(self, host: Union[str, int, IPv4Address]) -> None:
+        self.host = IPv4Address(host)
+        self.specificity = 32
+
+    def matches(self, packet: IPv4Packet) -> bool:
+        return packet.dst == self.host
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HostFEC) and self.host == other.host
+
+    def __hash__(self) -> int:
+        return hash(("host", self.host))
+
+    def __repr__(self) -> str:
+        return f"HostFEC('{self.host}')"
+
+
+class CoSFEC(FEC):
+    """An inner FEC further restricted to a DSCP range.
+
+    Used to steer marked traffic (e.g. EF-marked VoIP) onto a dedicated
+    LSP while best-effort traffic to the same destinations takes
+    another.  A CoS-qualified FEC is always more specific than its
+    unqualified inner FEC.
+    """
+
+    __slots__ = ("inner", "dscp_min", "dscp_max", "specificity")
+
+    def __init__(self, inner: FEC, dscp_min: int, dscp_max: Optional[int] = None) -> None:
+        if dscp_max is None:
+            dscp_max = dscp_min
+        if not 0 <= dscp_min <= dscp_max <= 63:
+            raise ValueError(
+                f"bad DSCP range {dscp_min}..{dscp_max} (must be within 0..63)"
+            )
+        self.inner = inner
+        self.dscp_min = dscp_min
+        self.dscp_max = dscp_max
+        self.specificity = inner.specificity + 64
+
+    def matches(self, packet: IPv4Packet) -> bool:
+        return (
+            self.dscp_min <= packet.dscp <= self.dscp_max
+            and self.inner.matches(packet)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CoSFEC)
+            and self.inner == other.inner
+            and (self.dscp_min, self.dscp_max)
+            == (other.dscp_min, other.dscp_max)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("cos", self.inner, self.dscp_min, self.dscp_max))
+
+    def __repr__(self) -> str:
+        return f"CoSFEC({self.inner!r}, dscp={self.dscp_min}..{self.dscp_max})"

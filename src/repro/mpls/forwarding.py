@@ -1,0 +1,328 @@
+"""The software label-switching engine.
+
+This is the pure-software MPLS data plane: the baseline the paper's
+hardware label stack modifier accelerates.  It performs exactly the
+steps the paper's Figure 9 state machine performs -- search the
+information base, verify, decrement the TTL, apply push/swap/pop -- but
+as straight-line Python over the ILM/FTN tables.
+
+The engine also keeps an :class:`OpCounts` tally of every elementary
+operation (table lookups, entries scanned, stack ops, TTL updates).
+:mod:`repro.core.timing` converts those tallies into cycle estimates for
+the hardware-vs-software comparison benchmarks.
+
+TTL handling follows the uniform model of RFC 3443, which is also what
+the paper describes: the TTL travels with the packet, is decremented at
+every router, and the packet is discarded when it would reach zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Union
+
+from repro.mpls.errors import (
+    LabelLookupMiss,
+    NoRouteError,
+    StackUnderflow,
+    TTLExpired,
+)
+from repro.mpls.label import (
+    IPV4_EXPLICIT_NULL,
+    IPV6_EXPLICIT_NULL,
+    ROUTER_ALERT,
+    LabelEntry,
+    LabelOp,
+    RESERVED_LABEL_MAX,
+)
+from repro.mpls.stack import LabelStack
+from repro.mpls.tables import FTN, ILM
+from repro.net.packet import IPv4Packet, MPLSPacket
+
+
+class Action(Enum):
+    """What the node should do with the processed packet."""
+
+    FORWARD_MPLS = "forward-mpls"  # labelled, to next_hop over out_interface
+    FORWARD_IP = "forward-ip"      # unlabelled, leaving the MPLS domain
+    DELIVER_LOCAL = "deliver-local"  # router alert / addressed to this node
+    DISCARD = "discard"
+
+
+@dataclass
+class OpCounts:
+    """Tally of elementary data-plane operations.
+
+    The software cost model in :mod:`repro.core.timing` prices each
+    field; the benchmarks use the totals to compare software forwarding
+    against the hardware cycle counts of Table 6.
+    """
+
+    ftn_lookups: int = 0
+    ilm_lookups: int = 0
+    entries_scanned: int = 0
+    pushes: int = 0
+    pops: int = 0
+    swaps: int = 0
+    ttl_updates: int = 0
+    discards: int = 0
+
+    def merged(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            ftn_lookups=self.ftn_lookups + other.ftn_lookups,
+            ilm_lookups=self.ilm_lookups + other.ilm_lookups,
+            entries_scanned=self.entries_scanned + other.entries_scanned,
+            pushes=self.pushes + other.pushes,
+            pops=self.pops + other.pops,
+            swaps=self.swaps + other.swaps,
+            ttl_updates=self.ttl_updates + other.ttl_updates,
+            discards=self.discards + other.discards,
+        )
+
+
+@dataclass(frozen=True)
+class ForwardingDecision:
+    """The outcome of processing one packet at one node."""
+
+    action: Action
+    packet: Optional[Union[IPv4Packet, MPLSPacket]] = None
+    next_hop: Optional[str] = None
+    out_interface: Optional[str] = None
+    reason: Optional[str] = None
+
+    @property
+    def forwarded(self) -> bool:
+        return self.action in (Action.FORWARD_MPLS, Action.FORWARD_IP)
+
+
+class ForwardingEngine:
+    """Software MPLS forwarding over an ILM and an FTN.
+
+    Parameters
+    ----------
+    ilm, ftn:
+        The node's tables.  They may be shared with a control plane
+        that updates them concurrently (generation counters let the
+        embedded architecture detect that).
+    node_name:
+        Used in discard reasons for diagnosability.
+    """
+
+    def __init__(
+        self,
+        ilm: Optional[ILM] = None,
+        ftn: Optional[FTN] = None,
+        node_name: str = "lsr",
+    ) -> None:
+        self.ilm = ilm if ilm is not None else ILM()
+        self.ftn = ftn if ftn is not None else FTN()
+        self.node_name = node_name
+        self.counts = OpCounts()
+
+    # -- ingress (LER): unlabelled in, labelled out -------------------------
+    def ingress(self, packet: IPv4Packet) -> ForwardingDecision:
+        """Classify an unlabelled packet and push its first label.
+
+        The paper: "When LERs receive a packet from a layer 2 network, a
+        label is then attached to that packet and sent into the MPLS
+        core network."
+        """
+        self.counts.ftn_lookups += 1
+        try:
+            fec, nhlfe = self.ftn.lookup(packet)
+        except NoRouteError as exc:
+            self.counts.discards += 1
+            return ForwardingDecision(
+                Action.DISCARD, reason=f"{self.node_name}: {exc}"
+            )
+        self.counts.entries_scanned += len(self.ftn)
+        if packet.ttl <= 1:
+            self.counts.discards += 1
+            return ForwardingDecision(
+                Action.DISCARD,
+                reason=f"{self.node_name}: IPv4 TTL expired at ingress",
+            )
+        inner = packet.decremented()
+        self.counts.ttl_updates += 1
+        if nhlfe.op is not LabelOp.PUSH:
+            # An FTN entry that does not push means the FEC is reachable
+            # without labels (e.g. a directly attached network).
+            return ForwardingDecision(
+                Action.FORWARD_IP,
+                packet=inner,
+                next_hop=nhlfe.next_hop,
+                out_interface=nhlfe.out_interface,
+            )
+        cos = nhlfe.cos if nhlfe.cos is not None else _dscp_to_cos(packet.dscp)
+        entry = LabelEntry(
+            label=nhlfe.out_label,  # type: ignore[arg-type]
+            cos=cos,
+            ttl=inner.ttl,
+        )
+        stack = LabelStack().push(entry)
+        self.counts.pushes += 1
+        return ForwardingDecision(
+            Action.FORWARD_MPLS,
+            packet=MPLSPacket(stack, inner),
+            next_hop=nhlfe.next_hop,
+            out_interface=nhlfe.out_interface,
+        )
+
+    # -- transit / egress: labelled in ------------------------------------
+    def transit(self, packet: MPLSPacket) -> ForwardingDecision:
+        """Process a labelled packet: the LSR fast path.
+
+        Mirrors the paper's Figure 9: search the information base for
+        the top label, discard on miss or TTL expiry, otherwise apply
+        the stored operation.
+        """
+        try:
+            top = packet.stack.top
+        except StackUnderflow:
+            self.counts.discards += 1
+            return ForwardingDecision(
+                Action.DISCARD,
+                reason=f"{self.node_name}: labelled packet with empty stack",
+            )
+
+        if top.label == ROUTER_ALERT:
+            return ForwardingDecision(Action.DELIVER_LOCAL, packet=packet)
+        if top.label in (IPV4_EXPLICIT_NULL, IPV6_EXPLICIT_NULL):
+            return self._pop_and_continue(packet, top)
+
+        self.counts.ilm_lookups += 1
+        self.counts.entries_scanned += len(self.ilm)
+        try:
+            nhlfe = self.ilm.lookup(top.label)
+        except LabelLookupMiss:
+            self.counts.discards += 1
+            return ForwardingDecision(
+                Action.DISCARD,
+                reason=(
+                    f"{self.node_name}: no ILM entry for label {top.label}"
+                ),
+            )
+
+        if top.ttl <= 1:
+            self.counts.discards += 1
+            return ForwardingDecision(
+                Action.DISCARD,
+                reason=f"{self.node_name}: MPLS TTL expired",
+            )
+        top = top.decremented()
+        self.counts.ttl_updates += 1
+
+        if nhlfe.op is LabelOp.SWAP:
+            self.counts.swaps += 1
+            new_top = top.with_label(nhlfe.out_label)  # type: ignore[arg-type]
+            stack = packet.stack.swap(new_top)
+            return ForwardingDecision(
+                Action.FORWARD_MPLS,
+                packet=packet.with_stack(stack),
+                next_hop=nhlfe.next_hop,
+                out_interface=nhlfe.out_interface,
+            )
+
+        if nhlfe.op is LabelOp.PUSH:
+            # Tunnel ingress inside the domain: swap semantics do not
+            # apply; the existing top stays (with its decremented TTL)
+            # and a new entry goes above it.  A push beyond the
+            # supported depth discards, mirroring the hardware's
+            # VERIFY_INFO consistency check.
+            max_depth = packet.stack.max_depth
+            if max_depth is not None and packet.stack.depth >= max_depth:
+                self.counts.discards += 1
+                return ForwardingDecision(
+                    Action.DISCARD,
+                    reason=(
+                        f"{self.node_name}: push would exceed the "
+                        f"{max_depth}-level stack limit"
+                    ),
+                )
+            self.counts.pushes += 1
+            stack = packet.stack.swap(top)
+            cos = nhlfe.cos if nhlfe.cos is not None else top.cos
+            stack = stack.push(
+                LabelEntry(
+                    label=nhlfe.out_label,  # type: ignore[arg-type]
+                    cos=cos,
+                    ttl=top.ttl,
+                )
+            )
+            return ForwardingDecision(
+                Action.FORWARD_MPLS,
+                packet=packet.with_stack(stack),
+                next_hop=nhlfe.next_hop,
+                out_interface=nhlfe.out_interface,
+            )
+
+        if nhlfe.op is LabelOp.POP:
+            return self._pop_and_continue(
+                packet,
+                top,
+                next_hop=nhlfe.next_hop,
+                out_interface=nhlfe.out_interface,
+            )
+
+        # NOOP: forward unchanged except for the TTL update.
+        stack = packet.stack.swap(top)
+        return ForwardingDecision(
+            Action.FORWARD_MPLS,
+            packet=packet.with_stack(stack),
+            next_hop=nhlfe.next_hop,
+            out_interface=nhlfe.out_interface,
+        )
+
+    def _pop_and_continue(
+        self,
+        packet: MPLSPacket,
+        top: LabelEntry,
+        next_hop: Optional[str] = None,
+        out_interface: Optional[str] = None,
+    ) -> ForwardingDecision:
+        """Pop the top entry, propagating the TTL downward (uniform
+        model): into the next entry, or into the IP header at the
+        bottom of the stack."""
+        self.counts.pops += 1
+        _, rest = packet.stack.pop()
+        if rest.is_empty:
+            inner = packet.inner
+            inner = inner.with_ttl(min(top.ttl, inner.ttl))
+            self.counts.ttl_updates += 1
+            return ForwardingDecision(
+                Action.FORWARD_IP,
+                packet=inner,
+                next_hop=next_hop,
+                out_interface=out_interface,
+            )
+        exposed = rest.top.with_ttl(min(top.ttl, rest.top.ttl))
+        rest = rest.swap(exposed)
+        self.counts.ttl_updates += 1
+        return ForwardingDecision(
+            Action.FORWARD_MPLS,
+            packet=packet.with_stack(rest),
+            next_hop=next_hop,
+            out_interface=out_interface,
+        )
+
+    # -- convenience --------------------------------------------------------
+    def process(
+        self, packet: Union[IPv4Packet, MPLSPacket]
+    ) -> ForwardingDecision:
+        """Dispatch on packet kind: labelled -> transit, else ingress."""
+        if isinstance(packet, MPLSPacket):
+            return self.transit(packet)
+        return self.ingress(packet)
+
+    def reset_counts(self) -> None:
+        self.counts = OpCounts()
+
+
+def _dscp_to_cos(dscp: int) -> int:
+    """Default DSCP -> 3-bit CoS mapping: the DSCP class selector bits.
+
+    EF (46) maps to 5, CS-classes map to their class number -- the
+    conventional mapping used when no explicit policy is configured.
+    """
+    return (dscp >> 3) & 0x7

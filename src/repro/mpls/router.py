@@ -1,0 +1,148 @@
+"""LER and LSR node behaviour (paper section 2).
+
+An :class:`LSRNode` is one MPLS router: a set of named interfaces, a
+forwarding engine over its ILM/FTN tables, and per-node statistics.  Its
+role -- Label Edge Router or core Label Switch Router -- is a
+declaration used by the control plane and by validity checks (an LER may
+originate and terminate LSPs; a pure LSR only transits), matching the
+paper's ``rtrtype`` signal ("Logic low is interpreted as LER while logic
+high is interpreted as LSR").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Union
+
+from repro.mpls.forwarding import (
+    Action,
+    ForwardingDecision,
+    ForwardingEngine,
+)
+from repro.mpls.tables import FTN, ILM
+from repro.net.packet import IPv4Packet, MPLSPacket
+
+
+class RouterRole(Enum):
+    """The two router types of the paper's Figure 1."""
+
+    LER = "ler"
+    LSR = "lsr"
+
+    @property
+    def rtrtype_bit(self) -> int:
+        """The hardware encoding: 0 for LER, 1 for LSR (Table 3)."""
+        return 0 if self is RouterRole.LER else 1
+
+
+@dataclass
+class NodeStats:
+    """Per-node data-plane counters."""
+
+    received: int = 0
+    forwarded_mpls: int = 0
+    forwarded_ip: int = 0
+    delivered_local: int = 0
+    discarded: int = 0
+    discard_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, decision: ForwardingDecision) -> None:
+        if decision.action is Action.FORWARD_MPLS:
+            self.forwarded_mpls += 1
+        elif decision.action is Action.FORWARD_IP:
+            self.forwarded_ip += 1
+        elif decision.action is Action.DELIVER_LOCAL:
+            self.delivered_local += 1
+        else:
+            self.discarded += 1
+            key = (decision.reason or "unspecified").split(":")[-1].strip()
+            self.discard_reasons[key] = self.discard_reasons.get(key, 0) + 1
+
+
+class LSRNode:
+    """One MPLS router (edge or core).
+
+    Parameters
+    ----------
+    name:
+        Unique node name within the network.
+    role:
+        :class:`RouterRole.LER` or :class:`RouterRole.LSR`.
+    interfaces:
+        Interface names; links attach to these.  May be extended later
+        via :meth:`add_interface`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        role: RouterRole = RouterRole.LSR,
+        interfaces: Optional[List[str]] = None,
+    ) -> None:
+        self.name = name
+        self.role = role
+        self.interfaces: List[str] = list(interfaces or [])
+        self.ilm = ILM()
+        self.ftn = FTN()
+        self.engine = ForwardingEngine(self.ilm, self.ftn, node_name=name)
+        self.stats = NodeStats()
+        #: neighbour name -> local interface used to reach it; the
+        #: network layer fills this in when links are attached.
+        self.neighbor_interfaces: Dict[str, str] = {}
+
+    def add_interface(self, interface: str) -> None:
+        if interface in self.interfaces:
+            raise ValueError(
+                f"{self.name}: interface {interface!r} already exists"
+            )
+        self.interfaces.append(interface)
+
+    @property
+    def is_edge(self) -> bool:
+        return self.role is RouterRole.LER
+
+    def receive(
+        self, packet: Union[IPv4Packet, MPLSPacket]
+    ) -> ForwardingDecision:
+        """Process one packet through the node's data plane.
+
+        An unlabelled packet arriving at a core LSR is a configuration
+        error in the paper's model (only LERs border layer-2 networks),
+        so it is discarded rather than classified.
+        """
+        self.stats.received += 1
+        if isinstance(packet, IPv4Packet) and not self.is_edge:
+            decision = ForwardingDecision(
+                Action.DISCARD,
+                reason=f"{self.name}: unlabelled packet at a core LSR",
+            )
+        else:
+            decision = self.engine.process(packet)
+        decision = self._fill_interface(decision)
+        self.stats.record(decision)
+        return decision
+
+    def _fill_interface(
+        self, decision: ForwardingDecision
+    ) -> ForwardingDecision:
+        """Resolve a next-hop name into a local interface when the NHLFE
+        did not specify one explicitly."""
+        if (
+            decision.forwarded
+            and decision.out_interface is None
+            and decision.next_hop is not None
+        ):
+            interface = self.neighbor_interfaces.get(decision.next_hop)
+            if interface is not None:
+                decision = ForwardingDecision(
+                    decision.action,
+                    packet=decision.packet,
+                    next_hop=decision.next_hop,
+                    out_interface=interface,
+                    reason=decision.reason,
+                )
+        return decision
+
+    def __repr__(self) -> str:
+        return f"<LSRNode {self.name} {self.role.value}>"

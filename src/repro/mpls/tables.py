@@ -1,0 +1,123 @@
+"""The forwarding tables of RFC 3031: ILM and FTN.
+
+* :class:`ILM` (Incoming Label Map) maps an incoming label to an NHLFE.
+  This is what the paper's information base implements in hardware for
+  levels 2 and 3 (label -> new label + operation).
+* :class:`FTN` (FEC-To-NHLFE) maps a forwarding equivalence class to an
+  NHLFE at the ingress LER.  The hardware realizes the common case --
+  destination-address keying -- as information-base level 1, where the
+  index memory holds 32-bit packet identifiers.
+
+Both tables track a generation counter so the embedded architecture can
+tell when the software control plane has changed them and the hardware
+information base needs re-synchronizing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+from repro.mpls.errors import InvalidLabelError, LabelLookupMiss, NoRouteError
+from repro.mpls.label import RESERVED_LABEL_MAX, require_real_label
+
+if TYPE_CHECKING:  # annotation-only; avoids the fec <-> net import cycle
+    from repro.mpls.fec import FEC
+from repro.mpls.nhlfe import NHLFE
+from repro.net.packet import IPv4Packet
+
+
+class ILM:
+    """Incoming Label Map: ``label -> NHLFE``.
+
+    Lookups are per-platform label space (one table per router), which
+    is what the paper's single information base models.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, NHLFE] = {}
+        self.generation = 0
+
+    def install(self, label: int, nhlfe: NHLFE) -> None:
+        require_real_label(label)
+        self._entries[label] = nhlfe
+        self.generation += 1
+
+    def remove(self, label: int) -> None:
+        if label not in self._entries:
+            raise KeyError(f"label {label} not installed")
+        del self._entries[label]
+        self.generation += 1
+
+    def lookup(self, label: int) -> NHLFE:
+        try:
+            return self._entries[label]
+        except KeyError:
+            raise LabelLookupMiss(f"no ILM entry for label {label}") from None
+
+    def get(self, label: int) -> Optional[NHLFE]:
+        return self._entries.get(label)
+
+    def __contains__(self, label: int) -> bool:
+        return label in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[int, NHLFE]]:
+        return iter(self._entries.items())
+
+    def labels(self) -> List[int]:
+        return sorted(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.generation += 1
+
+
+class FTN:
+    """FEC-To-NHLFE map, resolved most-specific-first.
+
+    Entries are kept sorted by descending FEC specificity; insertion is
+    O(n) and lookup O(n) in the number of FECs, which matches both real
+    LER software (a RIB walk) and the linear search of the paper's
+    hardware information base.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[FEC, NHLFE]] = []
+        self.generation = 0
+
+    def install(self, fec: FEC, nhlfe: NHLFE) -> None:
+        self._entries = [(f, n) for f, n in self._entries if f != fec]
+        self._entries.append((fec, nhlfe))
+        self._entries.sort(key=lambda pair: -pair[0].specificity)
+        self.generation += 1
+
+    def remove(self, fec: FEC) -> None:
+        before = len(self._entries)
+        self._entries = [(f, n) for f, n in self._entries if f != fec]
+        if len(self._entries) == before:
+            raise KeyError(f"FEC {fec!r} not installed")
+        self.generation += 1
+
+    def lookup(self, packet: IPv4Packet) -> Tuple[FEC, NHLFE]:
+        for fec, nhlfe in self._entries:
+            if fec.matches(packet):
+                return fec, nhlfe
+        raise NoRouteError(f"no FEC matches packet to {packet.dst}")
+
+    def get(self, packet: IPv4Packet) -> Optional[Tuple[FEC, NHLFE]]:
+        try:
+            return self.lookup(packet)
+        except NoRouteError:
+            return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[FEC, NHLFE]]:
+        return iter(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.generation += 1

@@ -1,0 +1,116 @@
+"""Discrete event simulation kernel.
+
+A classic calendar queue over a binary heap: events carry a timestamp, a
+deterministic tiebreak sequence number (so equal-time events fire in
+schedule order -- vital for reproducible network simulations), and a
+callback.  The network layer (:mod:`repro.net.link`,
+:mod:`repro.net.network`) schedules packet arrivals, transmission
+completions and protocol timers on one shared scheduler.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback.  Returned by :meth:`EventScheduler.at` so
+    callers can cancel it."""
+
+    time: float
+    seq: int
+    fn: Callable[[], Any] = field(compare=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventScheduler:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Event] = []
+        self._cancelled: set = set()
+        self._seq = itertools.count()
+        self.processed = 0
+
+    def at(self, time: float, fn: Callable[[], Any]) -> Event:
+        """Schedule ``fn`` to run at absolute ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        event = Event(time, next(self._seq), fn)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay: float, fn: Callable[[], Any]) -> Event:
+        """Schedule ``fn`` after a relative ``delay``."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.at(self.now + delay, fn)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (lazy removal)."""
+        self._cancelled.add((event.time, event.seq))
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def _pop(self) -> Optional[Event]:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            key = (event.time, event.seq)
+            if key in self._cancelled:
+                self._cancelled.discard(key)
+                continue
+            return event
+        return None
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Run events in order until the queue drains or ``until``.
+
+        Returns the number of events processed.  ``max_events`` guards
+        against runaway self-rescheduling sources.
+        """
+        count = 0
+        while count < max_events:
+            if not self._heap:
+                break
+            head = self._heap[0]
+            if (head.time, head.seq) in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard((head.time, head.seq))
+                continue
+            if until is not None and head.time > until:
+                break
+            event = self._pop()
+            if event is None:
+                break
+            self.now = event.time
+            event.fn()
+            count += 1
+            self.processed += 1
+        else:
+            raise RuntimeError(
+                f"event budget of {max_events} exhausted at t={self.now}"
+            )
+        if until is not None and until > self.now:
+            self.now = until
+        return count
+
+    def step(self) -> bool:
+        """Run exactly one event; returns False if the queue is empty."""
+        event = self._pop()
+        if event is None:
+            return False
+        self.now = event.time
+        event.fn()
+        self.processed += 1
+        return True

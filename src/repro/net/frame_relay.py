@@ -1,0 +1,82 @@
+"""Frame Relay (Q.922) framing.
+
+The third layer-2 technology the paper lists.  A Frame Relay frame is
+an HDLC-style frame with a two-byte address field carrying the 10-bit
+DLCI plus congestion bits (FECN/BECN/DE), the payload, and a 16-bit
+FCS (CRC-CCITT).  Flag bytes and bit stuffing are abstracted away --
+the simulator exchanges frames, not bit streams -- but the address
+field and FCS are encoded and validated for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class FrameRelayError(ValueError):
+    """A frame failed to parse or validate."""
+
+
+def _crc16_ccitt(data: bytes) -> int:
+    """CRC-16/X.25 as used by Q.922 (reflected, init 0xFFFF, xorout
+    0xFFFF)."""
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0x8408
+            else:
+                crc >>= 1
+    return crc ^ 0xFFFF
+
+
+@dataclass(frozen=True)
+class FrameRelayFrame:
+    """One Frame Relay frame on a PVC identified by its DLCI."""
+
+    dlci: int
+    payload: bytes
+    fecn: bool = False
+    becn: bool = False
+    de: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dlci <= 1023:
+            raise FrameRelayError(f"DLCI {self.dlci} out of 10-bit range")
+        if not self.payload:
+            raise FrameRelayError("empty Frame Relay payload")
+
+    def serialize(self) -> bytes:
+        """Address field (2 bytes) + payload + FCS (2 bytes)."""
+        # Q.922 address: DLCI split 6/4 across the two bytes, C/R = 0,
+        # EA0 = 0 in the first byte, EA1 = 1 in the second.
+        hi = ((self.dlci >> 4) & 0x3F) << 2
+        lo = (
+            ((self.dlci & 0x0F) << 4)
+            | (int(self.fecn) << 3)
+            | (int(self.becn) << 2)
+            | (int(self.de) << 1)
+            | 0x01  # EA
+        )
+        body = bytes([hi, lo]) + self.payload
+        return body + _crc16_ccitt(body).to_bytes(2, "little")
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "FrameRelayFrame":
+        if len(data) < 5:
+            raise FrameRelayError(f"frame of {len(data)} bytes too short")
+        body, fcs = data[:-2], data[-2:]
+        if _crc16_ccitt(body).to_bytes(2, "little") != fcs:
+            raise FrameRelayError("FCS mismatch: corrupt frame")
+        hi, lo = body[0], body[1]
+        if not lo & 0x01:
+            raise FrameRelayError("extended (3+ byte) addresses unsupported")
+        dlci = ((hi >> 2) << 4) | (lo >> 4)
+        return cls(
+            dlci=dlci,
+            payload=body[2:],
+            fecn=bool(lo & 0x08),
+            becn=bool(lo & 0x04),
+            de=bool(lo & 0x02),
+        )

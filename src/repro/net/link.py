@@ -1,0 +1,194 @@
+"""Point-to-point links with bandwidth, delay and output queuing.
+
+A :class:`Link` is full-duplex: each direction is an independent
+:class:`SimplexChannel` with its own transmitter and output queue.  The
+channel model is the standard store-and-forward one: a packet waits in
+the output queue, occupies the transmitter for ``bits / bandwidth``
+seconds, then arrives at the far end after the propagation ``delay``.
+
+Queues are pluggable through a tiny protocol (``enqueue`` / ``dequeue``
+/ ``__len__``) so the QoS subpackage's priority and WFQ schedulers can
+replace the default drop-tail FIFO -- that substitution is exactly the
+experiment behind the paper's QoS motivation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.net.events import EventScheduler
+
+
+class DropTailQueue:
+    """A bounded FIFO; the baseline best-effort queue."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queue: Deque[Any] = deque()
+        self.dropped = 0
+
+    def enqueue(self, packet: Any, cos: int = 0) -> bool:
+        if len(self._queue) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._queue.append(packet)
+        return True
+
+    def dequeue(self) -> Optional[Any]:
+        return self._queue.popleft() if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A (node, interface-name) attachment point."""
+
+    node: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.node}:{self.name}"
+
+
+class SimplexChannel:
+    """One direction of a link."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        src: Interface,
+        dst: Interface,
+        bandwidth_bps: float,
+        delay_s: float,
+        queue: Optional[Any] = None,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if delay_s < 0:
+            raise ValueError(f"negative propagation delay {delay_s}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        self.scheduler = scheduler
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.loss_rate = loss_rate
+        self._loss_rng = random.Random(loss_seed)
+        self.on_deliver: Optional[Callable[[Interface, Any], None]] = None
+        self._busy = False
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.dropped = 0
+        self.lost = 0
+
+    def send(self, packet: Any, size_bytes: int, cos: int = 0) -> bool:
+        """Queue a packet for transmission.  Returns False on drop."""
+        if not self.queue.enqueue((packet, size_bytes), cos):
+            self.dropped += 1
+            return False
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        item = self.queue.dequeue()
+        if item is None:
+            self._busy = False
+            return
+        packet, size_bytes = item
+        self._busy = True
+        tx_time = size_bytes * 8 / self.bandwidth_bps
+        self.scheduler.after(tx_time, lambda: self._tx_done(packet, size_bytes))
+
+    def _tx_done(self, packet: Any, size_bytes: int) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += size_bytes
+        if self.loss_rate and self._loss_rng.random() < self.loss_rate:
+            # lost on the wire: transmitted but never arrives
+            self.lost += 1
+        else:
+            self.scheduler.after(self.delay_s, lambda: self._arrive(packet))
+        self._start_next()
+
+    def _arrive(self, packet: Any) -> None:
+        if self.on_deliver is not None:
+            self.on_deliver(self.dst, packet)
+
+    @property
+    def utilization_bytes(self) -> int:
+        return self.tx_bytes
+
+
+class Link:
+    """A full-duplex point-to-point link between two interfaces.
+
+    Parameters
+    ----------
+    scheduler:
+        Shared event scheduler.
+    a, b:
+        The two endpoints.
+    bandwidth_bps:
+        Capacity of each direction.
+    delay_s:
+        One-way propagation delay.
+    queue_factory:
+        Callable producing a fresh queue per direction (so the two
+        directions never share queue state).
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        a: Interface,
+        b: Interface,
+        bandwidth_bps: float = 100e6,
+        delay_s: float = 1e-3,
+        queue_factory: Callable[[], Any] = DropTailQueue,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+    ) -> None:
+        self.a = a
+        self.b = b
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.forward = SimplexChannel(
+            scheduler, a, b, bandwidth_bps, delay_s, queue_factory(),
+            loss_rate=loss_rate, loss_seed=loss_seed,
+        )
+        self.reverse = SimplexChannel(
+            scheduler, b, a, bandwidth_bps, delay_s, queue_factory(),
+            loss_rate=loss_rate, loss_seed=loss_seed + 1,
+        )
+
+    def channel_from(self, node: str) -> SimplexChannel:
+        """The outbound channel as seen from ``node``."""
+        if node == self.a.node:
+            return self.forward
+        if node == self.b.node:
+            return self.reverse
+        raise KeyError(f"{node} is not an endpoint of {self}")
+
+    def other_end(self, node: str) -> Interface:
+        if node == self.a.node:
+            return self.b
+        if node == self.b.node:
+            return self.a
+        raise KeyError(f"{node} is not an endpoint of {self}")
+
+    def endpoints(self) -> Tuple[Interface, Interface]:
+        return self.a, self.b
+
+    def __repr__(self) -> str:
+        return f"<Link {self.a} <-> {self.b} {self.bandwidth_bps/1e6:g}Mbps>"

@@ -1,0 +1,278 @@
+"""MPLSNetwork: the running network of Figure 1.
+
+Combines a :class:`~repro.net.topology.Topology`, per-node
+:class:`~repro.mpls.router.LSRNode` data planes, event-scheduled
+:class:`~repro.net.link.Link` channels, and host attachment points at
+the edge LERs into one simulated MPLS domain:
+
+* packets injected at a node traverse the data plane hop by hop with
+  real transmission/propagation/queueing delays,
+* per-link queues are pluggable (drop-tail baseline, or the QoS
+  schedulers of :mod:`repro.qos.scheduler`),
+* delivered packets are recorded with end-to-end latency; drops are
+  recorded with their reason,
+* the control plane (:mod:`repro.control`) programs the very same
+  node tables the data plane consults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.mpls.forwarding import Action
+from repro.mpls.router import LSRNode, RouterRole
+from repro.net.addressing import IPv4Prefix
+from repro.net.events import EventScheduler
+from repro.net.link import DropTailQueue, Interface, Link
+from repro.net.packet import IPv4Packet, MPLSPacket
+from repro.net.topology import Topology
+from repro.qos.classifier import cos_of_packet
+
+
+@dataclass
+class Delivery:
+    """One packet that reached its attached host."""
+
+    time: float
+    node: str
+    packet: IPv4Packet
+
+    @property
+    def latency(self) -> float:
+        return self.time - self.packet.created_at
+
+
+@dataclass
+class Drop:
+    """One packet lost in the domain."""
+
+    time: float
+    node: str
+    reason: str
+
+
+class MPLSNetwork:
+    """A simulated MPLS domain.
+
+    Parameters
+    ----------
+    topology:
+        Node/link graph; link attributes set bandwidth and delay.
+    roles:
+        node name -> :class:`RouterRole`.  Nodes absent from the
+        mapping default to core LSRs.
+    queue_factory:
+        Produces the output queue for each link direction; swap in a
+        QoS scheduler factory to enable CoS-aware queueing.
+    node_factory:
+        Produces each node from (name, role); defaults to the software
+        :class:`LSRNode`.  Pass
+        :class:`~repro.core.hwnode.HardwareLSRNode` to run the data
+        plane on the paper's hardware model with cycle accounting.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        roles: Optional[Dict[str, RouterRole]] = None,
+        scheduler: Optional[EventScheduler] = None,
+        queue_factory: Callable[[], Any] = DropTailQueue,
+        node_factory: Callable[[str, RouterRole], LSRNode] = LSRNode,
+    ) -> None:
+        self.topology = topology
+        self.scheduler = scheduler if scheduler is not None else EventScheduler()
+        roles = roles or {}
+        self.nodes: Dict[str, LSRNode] = {}
+        for name in topology.nodes:
+            role = roles.get(name, RouterRole.LSR)
+            self.nodes[name] = node_factory(name, role)
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self._link_of: Dict[Tuple[str, str], Link] = {}
+        for a, b, attrs in topology.edges_with_attrs():
+            if_a = f"to-{b}"
+            if_b = f"to-{a}"
+            self.nodes[a].add_interface(if_a)
+            self.nodes[b].add_interface(if_b)
+            self.nodes[a].neighbor_interfaces[b] = if_a
+            self.nodes[b].neighbor_interfaces[a] = if_b
+            link = Link(
+                self.scheduler,
+                Interface(a, if_a),
+                Interface(b, if_b),
+                bandwidth_bps=attrs.bandwidth_bps,
+                delay_s=attrs.delay_s,
+                queue_factory=queue_factory,
+            )
+            link.forward.on_deliver = self._on_arrival
+            link.reverse.on_deliver = self._on_arrival
+            key = (a, b) if a <= b else (b, a)
+            self.links[key] = link
+            self._link_of[(a, b)] = link
+            self._link_of[(b, a)] = link
+        #: LER name -> list of (prefix, sink) host attachments
+        self._hosts: Dict[str, List[Tuple[IPv4Prefix, Optional[Callable]]]] = {}
+        self.deliveries: List[Delivery] = []
+        self.drops: List[Drop] = []
+
+    # -- wiring ----------------------------------------------------------
+    def node(self, name: str) -> LSRNode:
+        return self.nodes[name]
+
+    def link(self, a: str, b: str) -> Link:
+        try:
+            return self._link_of[(a, b)]
+        except KeyError:
+            raise KeyError(f"no link {a!r}-{b!r}") from None
+
+    def attach_host(
+        self,
+        ler: str,
+        prefix: Union[str, IPv4Prefix],
+        sink: Optional[Callable[[IPv4Packet], None]] = None,
+    ) -> None:
+        """Declare that hosts in ``prefix`` hang off ``ler``.
+
+        Packets the LER forwards as plain IP to a matching destination
+        count as delivered (and are passed to ``sink`` if given).
+        """
+        node = self.nodes[ler]
+        if not node.is_edge:
+            raise ValueError(f"{ler} is a core LSR; hosts attach to LERs")
+        self._hosts.setdefault(ler, []).append(
+            (prefix if isinstance(prefix, IPv4Prefix) else IPv4Prefix(prefix), sink)
+        )
+
+    # -- data plane ---------------------------------------------------------
+    def inject(self, node: str, packet: Union[IPv4Packet, MPLSPacket]) -> None:
+        """Hand a packet to a node's data plane at the current time."""
+        if node not in self.nodes:
+            raise KeyError(f"unknown node {node!r}")
+        self.scheduler.after(0.0, lambda: self._process(node, packet))
+
+    def source_sink(self, ler: str) -> Callable[[IPv4Packet], None]:
+        """A sink for traffic generators feeding ``ler``."""
+        return lambda packet: self._process(ler, packet)
+
+    def _on_arrival(self, iface: Interface, packet: Any) -> None:
+        self._process(iface.node, packet)
+
+    def _process(
+        self, node_name: str, packet: Union[IPv4Packet, MPLSPacket]
+    ) -> None:
+        node = self.nodes[node_name]
+        # An unlabelled packet for a locally attached prefix is handed
+        # straight to the layer-2 side -- the egress-LER case when
+        # penultimate-hop popping already removed the label upstream.
+        if isinstance(packet, IPv4Packet) and self._is_attached(
+            node_name, packet
+        ):
+            self._deliver(node_name, packet)
+            return
+        decision = node.receive(packet)
+        # "Pop and continue": a pop whose NHLFE names no next hop (a
+        # tunnel tail) exposes the inner label, which must be looked up
+        # again at this same node.  The bound is the max stack depth.
+        relookups = 0
+        while (
+            decision.action is Action.FORWARD_MPLS
+            and decision.next_hop is None
+            and isinstance(decision.packet, MPLSPacket)
+            and relookups < 4
+        ):
+            decision = node.receive(decision.packet)
+            relookups += 1
+        now = self.scheduler.now
+        if decision.action is Action.DISCARD:
+            self.drops.append(
+                Drop(now, node_name, decision.reason or "unspecified")
+            )
+            return
+        if decision.action is Action.DELIVER_LOCAL:
+            return
+        out = decision.packet
+        if decision.action is Action.FORWARD_IP:
+            inner = out  # an IPv4Packet
+            if decision.next_hop is None or self._is_attached(
+                node_name, inner
+            ):
+                self._deliver(node_name, inner)
+                return
+        if decision.next_hop is None:
+            self.drops.append(
+                Drop(now, node_name, f"{node_name}: no next hop resolved")
+            )
+            return
+        link = self._link_of.get((node_name, decision.next_hop))
+        if link is None:
+            self.drops.append(
+                Drop(
+                    now,
+                    node_name,
+                    f"{node_name}: no link towards {decision.next_hop}",
+                )
+            )
+            return
+        channel = link.channel_from(node_name)
+        accepted = channel.send(out, out.length, cos=cos_of_packet(out))
+        if not accepted:
+            self.drops.append(
+                Drop(
+                    now,
+                    node_name,
+                    f"{node_name}: queue overflow towards {decision.next_hop}",
+                )
+            )
+
+    def _is_attached(self, node_name: str, packet: IPv4Packet) -> bool:
+        return any(
+            prefix.contains(packet.dst)
+            for prefix, _ in self._hosts.get(node_name, [])
+        )
+
+    def _deliver(self, node_name: str, packet: IPv4Packet) -> None:
+        self.deliveries.append(Delivery(self.scheduler.now, node_name, packet))
+        for prefix, sink in self._hosts.get(node_name, []):
+            if sink is not None and prefix.contains(packet.dst):
+                sink(packet)
+
+    # -- failure injection ---------------------------------------------------
+    def fail_link(self, a: str, b: str) -> None:
+        """Take a link out of service.
+
+        The adjacency disappears from both the data plane (subsequent
+        sends towards the dead neighbour are dropped with a "no link"
+        reason; packets already in flight on the link are lost) and the
+        control-plane topology, so SPF/CSPF reconvergence sees the
+        failure.
+        """
+        link = self.link(a, b)
+        self._link_of.pop((a, b))
+        self._link_of.pop((b, a))
+        key = (a, b) if a <= b else (b, a)
+        self.links.pop(key)
+        # in-flight packets are lost: silence the delivery callbacks
+        link.forward.on_deliver = None
+        link.reverse.on_deliver = None
+        if self.topology.has_link(a, b):
+            self.topology.remove_link(a, b)
+
+    # -- running ---------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> int:
+        return self.scheduler.run(until=until)
+
+    # -- statistics ---------------------------------------------------------
+    def latencies(self, flow_id: Optional[int] = None) -> List[float]:
+        return [
+            d.latency
+            for d in self.deliveries
+            if flow_id is None or d.packet.flow_id == flow_id
+        ]
+
+    def delivered_count(self, flow_id: Optional[int] = None) -> int:
+        if flow_id is None:
+            return len(self.deliveries)
+        return sum(1 for d in self.deliveries if d.packet.flow_id == flow_id)
+
+    def drop_count(self) -> int:
+        return len(self.drops)

@@ -1,0 +1,144 @@
+"""Packets: IPv4 datagrams and MPLS-labelled packets.
+
+The simulator moves two packet shapes around:
+
+* :class:`IPv4Packet` -- the layer-3 payload the layer-2 networks
+  generate and receive (paper Figure 2: "LAYER 2 NETWORK (generates L2
+  packet)").  Only the fields the MPLS data plane consults are modelled
+  (addresses, TTL, DSCP, protocol, length, payload); everything is
+  still serializable so the framing codecs have real bytes to carry.
+* :class:`MPLSPacket` -- an IPv4 packet with a label stack attached,
+  the unit the LSRs switch (paper Figure 4).
+
+Both are immutable value objects; data-plane transformations produce
+new packets, which keeps multi-node simulations free of aliasing bugs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.addressing import IPv4Address
+
+if TYPE_CHECKING:  # deferred to break the net <-> mpls import cycle
+    from repro.mpls.stack import LabelStack
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class IPv4Packet:
+    """A simplified IPv4 datagram.
+
+    ``packet_id`` is the arbitrary per-packet identifier the paper's
+    architecture feeds into the information base at level 1; for IP
+    packets the paper uses the destination address, which is what
+    :meth:`identifier` returns.
+    """
+
+    src: IPv4Address
+    dst: IPv4Address
+    ttl: int = 64
+    dscp: int = 0
+    protocol: int = 17  # UDP by default; the sources mostly model UDP flows
+    payload: bytes = b""
+    flow_id: int = 0
+    seq: int = 0
+    created_at: float = 0.0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", IPv4Address(self.src))
+        object.__setattr__(self, "dst", IPv4Address(self.dst))
+        if not 0 <= self.ttl <= 255:
+            raise ValueError(f"IPv4 TTL {self.ttl} out of range")
+        if not 0 <= self.dscp <= 63:
+            raise ValueError(f"DSCP {self.dscp} out of range")
+
+    @property
+    def length(self) -> int:
+        """Total datagram length: 20-byte header + payload."""
+        return 20 + len(self.payload)
+
+    def identifier(self) -> int:
+        """The 32-bit packet identifier used at information-base level 1
+        (the destination address, per the paper)."""
+        return self.dst.value
+
+    def decremented(self) -> "IPv4Packet":
+        if self.ttl == 0:
+            raise ValueError("cannot decrement a zero IPv4 TTL")
+        return replace(self, ttl=self.ttl - 1)
+
+    def with_ttl(self, ttl: int) -> "IPv4Packet":
+        """A copy with the TTL rewritten (identity -- uid, flow, seq --
+        preserved; used when the MPLS TTL is copied back at an egress)."""
+        return replace(self, ttl=ttl)
+
+    def serialize(self) -> bytes:
+        """A compact but faithful-enough header encoding + payload.
+
+        Version/IHL and checksum are synthesized; the fields the data
+        plane reads round-trip exactly.
+        """
+        header = bytearray(20)
+        header[0] = 0x45  # version 4, IHL 5
+        header[1] = self.dscp << 2
+        total = self.length
+        header[2:4] = total.to_bytes(2, "big")
+        header[4:6] = (self.uid & 0xFFFF).to_bytes(2, "big")
+        header[8] = self.ttl
+        header[9] = self.protocol
+        header[12:16] = self.src.to_bytes()
+        header[16:20] = self.dst.to_bytes()
+        return bytes(header) + self.payload
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "IPv4Packet":
+        if len(data) < 20:
+            raise ValueError("IPv4 packet shorter than a header")
+        if data[0] >> 4 != 4:
+            raise ValueError("not an IPv4 packet")
+        total = int.from_bytes(data[2:4], "big")
+        if total > len(data):
+            raise ValueError("truncated IPv4 packet")
+        return cls(
+            src=IPv4Address.from_bytes(data[12:16]),
+            dst=IPv4Address.from_bytes(data[16:20]),
+            ttl=data[8],
+            dscp=data[1] >> 2,
+            protocol=data[9],
+            payload=data[20:total],
+        )
+
+
+@dataclass(frozen=True)
+class MPLSPacket:
+    """An IPv4 packet carrying an MPLS label stack."""
+
+    stack: LabelStack
+    inner: IPv4Packet
+
+    @property
+    def length(self) -> int:
+        return 4 * self.stack.depth + self.inner.length
+
+    def with_stack(self, stack: LabelStack) -> "MPLSPacket":
+        return MPLSPacket(stack, self.inner)
+
+    def serialize(self) -> bytes:
+        return self.stack.encode_bytes() + self.inner.serialize()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "MPLSPacket":
+        from repro.mpls.stack import LabelStack
+
+        stack_len = LabelStack.wire_length(data)
+        stack = LabelStack.decode_bytes(data[:stack_len])
+        inner = IPv4Packet.deserialize(data[stack_len:])
+        return cls(stack, inner)
+
+    def __repr__(self) -> str:
+        return f"<MPLSPacket {self.stack!r} {self.inner.src}->{self.inner.dst}>"

@@ -1,0 +1,58 @@
+"""DSCP / CoS marking.
+
+Admission to a premium LSP usually begins with (re)marking traffic at
+the edge: a marker rewrites the DSCP of packets matching a rule, so
+everything downstream (the classifier, the CoS bits pushed into the
+label entry, the schedulers) treats them consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.net.addressing import IPv4Prefix
+from repro.net.packet import IPv4Packet
+
+
+@dataclass(frozen=True)
+class MarkRule:
+    """Rewrite the DSCP of matching packets."""
+
+    new_dscp: int
+    src: Optional[IPv4Prefix] = None
+    dst: Optional[IPv4Prefix] = None
+    protocol: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.new_dscp <= 63:
+            raise ValueError(f"DSCP {self.new_dscp} out of range")
+
+    def matches(self, packet: IPv4Packet) -> bool:
+        if self.src is not None and not self.src.contains(packet.src):
+            return False
+        if self.dst is not None and not self.dst.contains(packet.dst):
+            return False
+        if self.protocol is not None and packet.protocol != self.protocol:
+            return False
+        return True
+
+
+class Marker:
+    """Applies the first matching rule; unmatched packets pass as-is."""
+
+    def __init__(self) -> None:
+        self._rules: List[MarkRule] = []
+        self.marked = 0
+        self.passed = 0
+
+    def add_rule(self, rule: MarkRule) -> None:
+        self._rules.append(rule)
+
+    def mark(self, packet: IPv4Packet) -> IPv4Packet:
+        for rule in self._rules:
+            if rule.matches(packet):
+                self.marked += 1
+                return replace(packet, dscp=rule.new_dscp)
+        self.passed += 1
+        return packet

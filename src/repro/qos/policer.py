@@ -1,0 +1,73 @@
+"""Token-bucket policing.
+
+The paper lists "admission control" among the QoS functions.  The
+token bucket is its data-plane half: traffic conforming to the
+configured rate and burst passes; excess is dropped (policing) or can
+be remarked by the caller.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class PolicerAction(Enum):
+    CONFORM = "conform"
+    EXCEED = "exceed"
+
+
+class TokenBucket:
+    """A classic single-rate token bucket.
+
+    Parameters
+    ----------
+    rate_bps:
+        Token refill rate (bits per second).
+    burst_bytes:
+        Bucket depth in bytes.
+
+    The bucket is lazily refilled from wall-clock timestamps supplied by
+    the caller (the event scheduler's ``now``), avoiding any timer
+    machinery of its own.
+    """
+
+    def __init__(self, rate_bps: float, burst_bytes: int) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if burst_bytes <= 0:
+            raise ValueError(f"burst must be positive, got {burst_bytes}")
+        self.rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self._tokens = float(burst_bytes)
+        self._last = 0.0
+        self.conformed = 0
+        self.exceeded = 0
+        self.conformed_bytes = 0
+        self.exceeded_bytes = 0
+
+    def _refill(self, now: float) -> None:
+        if now < self._last:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last}"
+            )
+        self._tokens = min(
+            float(self.burst_bytes),
+            self._tokens + (now - self._last) * self.rate_bps / 8.0,
+        )
+        self._last = now
+
+    def offer(self, size_bytes: int, now: float) -> PolicerAction:
+        """Offer a packet of ``size_bytes`` at time ``now``."""
+        self._refill(now)
+        if size_bytes <= self._tokens:
+            self._tokens -= size_bytes
+            self.conformed += 1
+            self.conformed_bytes += size_bytes
+            return PolicerAction.CONFORM
+        self.exceeded += 1
+        self.exceeded_bytes += size_bytes
+        return PolicerAction.EXCEED
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens

@@ -1,0 +1,117 @@
+"""Discard algorithms: tail drop and Random Early Detection.
+
+"The CoS bits affect the ... discard algorithms applied to the
+packet."  Two discard disciplines are provided behind the same queue
+protocol the links use (``enqueue(item, cos)`` / ``dequeue()`` /
+``__len__``):
+
+* :class:`TailDropQueue` -- drop arrivals when full (the baseline; a
+  per-CoS statistics superset of the link's built-in queue),
+* :class:`REDQueue` -- probabilistic early dropping between a min and
+  max threshold on the EWMA queue length, the classic congestion
+  avoidance discipline.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+
+class TailDropQueue:
+    """Bounded FIFO with per-CoS drop accounting."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queue: Deque[Any] = deque()
+        self.dropped = 0
+        self.dropped_by_cos: Dict[int, int] = {}
+        self.enqueued = 0
+
+    def enqueue(self, item: Any, cos: int = 0) -> bool:
+        if len(self._queue) >= self.capacity:
+            self.dropped += 1
+            self.dropped_by_cos[cos] = self.dropped_by_cos.get(cos, 0) + 1
+            return False
+        self._queue.append(item)
+        self.enqueued += 1
+        return True
+
+    def dequeue(self) -> Optional[Any]:
+        return self._queue.popleft() if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class REDQueue:
+    """Random Early Detection over a bounded FIFO.
+
+    Drops arrivals with probability rising linearly from 0 at
+    ``min_threshold`` to ``max_probability`` at ``max_threshold`` of the
+    EWMA queue length; everything above ``max_threshold`` is dropped.
+    Deterministic given the seed.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        min_threshold: float = 16,
+        max_threshold: float = 48,
+        max_probability: float = 0.1,
+        weight: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < min_threshold < max_threshold <= capacity:
+            raise ValueError(
+                "need 0 < min_threshold < max_threshold <= capacity"
+            )
+        if not 0 < max_probability <= 1:
+            raise ValueError("max_probability must be in (0, 1]")
+        if not 0 < weight <= 1:
+            raise ValueError("EWMA weight must be in (0, 1]")
+        self.capacity = capacity
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+        self.max_probability = max_probability
+        self.weight = weight
+        self._rng = random.Random(seed)
+        self._queue: Deque[Any] = deque()
+        self._avg = 0.0
+        self.dropped_early = 0
+        self.dropped_forced = 0
+        self.enqueued = 0
+
+    @property
+    def average(self) -> float:
+        return self._avg
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_early + self.dropped_forced
+
+    def enqueue(self, item: Any, cos: int = 0) -> bool:
+        self._avg = (
+            (1 - self.weight) * self._avg + self.weight * len(self._queue)
+        )
+        if len(self._queue) >= self.capacity or self._avg >= self.max_threshold:
+            self.dropped_forced += 1
+            return False
+        if self._avg > self.min_threshold:
+            span = self.max_threshold - self.min_threshold
+            p = self.max_probability * (self._avg - self.min_threshold) / span
+            if self._rng.random() < p:
+                self.dropped_early += 1
+                return False
+        self._queue.append(item)
+        self.enqueued += 1
+        return True
+
+    def dequeue(self) -> Optional[Any]:
+        return self._queue.popleft() if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,96 @@
+"""Property-based tests for CSPF against a networkx reference."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.cspf import CSPFError, cspf_path
+from repro.net.topology import Topology
+
+
+@st.composite
+def random_topologies(draw):
+    """Connected random graphs with random metrics and bandwidths."""
+    n = draw(st.integers(min_value=2, max_value=10))
+    names = [f"n{i}" for i in range(n)]
+    topo = Topology()
+    for name in names:
+        topo.add_node(name)
+    # spanning chain guarantees connectivity
+    for a, b in zip(names, names[1:]):
+        metric = draw(st.integers(min_value=1, max_value=10))
+        bw = draw(st.sampled_from([10e6, 100e6]))
+        topo.add_link(a, b, metric=metric, bandwidth_bps=bw)
+    # random chords
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        i = draw(st.integers(min_value=0, max_value=n - 1))
+        j = draw(st.integers(min_value=0, max_value=n - 1))
+        if i != j and not topo.has_link(names[i], names[j]):
+            metric = draw(st.integers(min_value=1, max_value=10))
+            bw = draw(st.sampled_from([10e6, 100e6]))
+            topo.add_link(names[i], names[j], metric=metric,
+                          bandwidth_bps=bw)
+    return topo, names
+
+
+def _nx_graph(topo, bandwidth_floor=0.0):
+    graph = nx.Graph()
+    graph.add_nodes_from(topo.nodes)
+    for a, b, attrs in topo.edges_with_attrs():
+        if attrs.bandwidth_bps >= bandwidth_floor:
+            graph.add_edge(a, b, weight=attrs.metric)
+    return graph
+
+
+class TestCSPFProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_topologies())
+    def test_unconstrained_matches_networkx(self, topo_names):
+        topo, names = topo_names
+        src, dst = names[0], names[-1]
+        ours = cspf_path(topo, src, dst)
+        ref_len = nx.shortest_path_length(
+            _nx_graph(topo), src, dst, weight="weight"
+        )
+        ours_len = sum(
+            topo.link(a, b).metric for a, b in zip(ours, ours[1:])
+        )
+        assert ours_len == ref_len
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_topologies())
+    def test_bandwidth_constraint_matches_pruned_networkx(self, topo_names):
+        topo, names = topo_names
+        src, dst = names[0], names[-1]
+        floor = 50e6  # keeps only the 100 Mbps links
+        pruned = _nx_graph(topo, bandwidth_floor=floor)
+        try:
+            ref_len = nx.shortest_path_length(
+                pruned, src, dst, weight="weight"
+            )
+            feasible = True
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            feasible = False
+        if feasible:
+            ours = cspf_path(topo, src, dst, bandwidth_bps=floor)
+            ours_len = sum(
+                topo.link(a, b).metric for a, b in zip(ours, ours[1:])
+            )
+            assert ours_len == ref_len
+            for a, b in zip(ours, ours[1:]):
+                assert topo.link(a, b).bandwidth_bps >= floor
+        else:
+            with pytest.raises(CSPFError):
+                cspf_path(topo, src, dst, bandwidth_bps=floor)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_topologies())
+    def test_path_is_simple_and_wellformed(self, topo_names):
+        topo, names = topo_names
+        path = cspf_path(topo, names[0], names[-1])
+        assert path[0] == names[0] and path[-1] == names[-1]
+        assert len(set(path)) == len(path)  # no revisits
+        for a, b in zip(path, path[1:]):
+            assert topo.has_link(a, b)

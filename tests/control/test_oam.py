@@ -1,0 +1,80 @@
+"""Tests for LSP ping and traceroute."""
+
+import pytest
+
+from repro.control.ldp import LDPProcess
+from repro.control.oam import lsp_ping, lsp_traceroute
+from repro.mpls.fec import PrefixFEC
+from repro.mpls.router import RouterRole
+from repro.net.network import MPLSNetwork
+from repro.net.topology import line, paper_figure1
+
+
+def _network(topo=None, edges=("ler-a", "ler-b"), egress="ler-b",
+             prefix="10.2.0.0/16"):
+    topo = topo or paper_figure1(bandwidth_bps=10e6, delay_s=1e-3)
+    roles = {name: RouterRole.LER for name in edges}
+    net = MPLSNetwork(topo, roles)
+    net.attach_host(egress, prefix)
+    ldp = LDPProcess(topo, net.nodes)
+    ldp.establish_fec(PrefixFEC(prefix), egress=egress)
+    return net
+
+
+class TestLSPPing:
+    def test_healthy_lsp_pings(self):
+        net = _network()
+        result = lsp_ping(net, "ler-a", "10.2.0.9")
+        assert result.reached
+        assert result.egress == "ler-b"
+        assert 0.003 < result.latency < 0.01
+
+    def test_broken_lsp_fails_ping(self):
+        net = _network()
+        net.fail_link("lsr-1", "lsr-2")
+        result = lsp_ping(net, "ler-a", "10.2.0.9")
+        assert not result.reached
+        assert result.latency is None
+
+    def test_unroutable_destination_fails(self):
+        net = _network()
+        result = lsp_ping(net, "ler-a", "99.9.9.9")
+        assert not result.reached
+
+    def test_repeated_pings_independent(self):
+        net = _network()
+        first = lsp_ping(net, "ler-a", "10.2.0.9")
+        second = lsp_ping(net, "ler-a", "10.2.0.9")
+        assert first.reached and second.reached
+        assert second.sent_at > first.sent_at
+
+
+class TestLSPTraceroute:
+    def test_walks_the_lsp(self):
+        net = _network()
+        result = lsp_traceroute(net, "ler-a", "10.2.0.9")
+        assert result.complete
+        # TTL 2 dies at the first LSR, TTL 3 at the second, TTL 4 lands
+        assert result.path == ["lsr-1", "lsr-2", "ler-b"]
+
+    def test_longer_path(self):
+        topo = line(6, bandwidth_bps=10e6, delay_s=1e-4)
+        net = _network(topo=topo, edges=("n0", "n5"), egress="n5",
+                       prefix="10.5.0.0/16")
+        result = lsp_traceroute(net, "n0", "10.5.0.1")
+        assert result.complete
+        assert result.path == ["n1", "n2", "n3", "n4", "n5"]
+
+    def test_truncated_at_breakage(self):
+        net = _network()
+        net.fail_link("lsr-2", "ler-b")
+        result = lsp_traceroute(net, "ler-a", "10.2.0.9", max_ttl=6)
+        assert not result.complete
+        # the walk reveals the hops before the break
+        assert result.path[:2] == ["lsr-1", "lsr-2"]
+
+    def test_max_ttl_bounds_the_walk(self):
+        net = _network()
+        net.fail_link("lsr-2", "ler-b")
+        result = lsp_traceroute(net, "ler-a", "10.2.0.9", max_ttl=3)
+        assert len(result.hops) <= 4

@@ -1,0 +1,96 @@
+"""Tests for the link-state database and SPF."""
+
+import pytest
+
+from repro.control.routing import LinkStateDatabase, shortest_path
+from repro.net.topology import (
+    Topology,
+    TopologyError,
+    full_mesh,
+    line,
+    paper_figure1,
+    ring,
+)
+
+
+class TestSPF:
+    def test_line_path(self):
+        result = LinkStateDatabase(line(4)).spf("n0")
+        assert result.paths["n3"] == ["n0", "n1", "n2", "n3"]
+        assert result.cost["n3"] == 3
+
+    def test_next_hop(self):
+        result = LinkStateDatabase(line(4)).spf("n0")
+        assert result.next_hop("n3") == "n1"
+        assert result.next_hop("n0") is None
+
+    def test_metrics_respected(self):
+        topo = Topology()
+        for name in "abcd":
+            topo.add_node(name)
+        topo.add_link("a", "b", metric=1)
+        topo.add_link("b", "d", metric=1)
+        topo.add_link("a", "c", metric=5)
+        topo.add_link("c", "d", metric=1)
+        result = LinkStateDatabase(topo).spf("a")
+        assert result.paths["d"] == ["a", "b", "d"]
+
+    def test_high_metric_reroutes(self):
+        topo = Topology()
+        for name in "abcd":
+            topo.add_node(name)
+        topo.add_link("a", "b", metric=10)
+        topo.add_link("b", "d", metric=10)
+        topo.add_link("a", "c", metric=1)
+        topo.add_link("c", "d", metric=1)
+        result = LinkStateDatabase(topo).spf("a")
+        assert result.paths["d"] == ["a", "c", "d"]
+
+    def test_unreachable(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("island")
+        result = LinkStateDatabase(topo).spf("a")
+        assert not result.reachable("island")
+        assert result.next_hop("island") is None
+
+    def test_unknown_source(self):
+        with pytest.raises(TopologyError):
+            LinkStateDatabase(line(2)).spf("ghost")
+
+    def test_negative_metric_rejected(self):
+        topo = line(2)
+        topo.link("n0", "n1").metric = -1
+        with pytest.raises(TopologyError):
+            LinkStateDatabase(topo).spf("n0")
+
+    def test_source_path_to_itself(self):
+        result = LinkStateDatabase(line(2)).spf("n0")
+        assert result.paths["n0"] == ["n0"]
+        assert result.cost["n0"] == 0
+
+    def test_paper_figure1_shortest(self):
+        path = shortest_path(paper_figure1(), "ler-a", "ler-b")
+        # both core paths have equal metric; either 3-hop path is valid
+        assert path[0] == "ler-a" and path[-1] == "ler-b"
+        assert len(path) == 4
+
+    def test_matches_networkx_reference(self):
+        """Cross-check Dijkstra against networkx on a ring and mesh."""
+        import networkx as nx
+
+        for topo in (ring(8), full_mesh(6)):
+            graph = nx.Graph()
+            for a, b, attrs in topo.edges_with_attrs():
+                graph.add_edge(a, b, weight=attrs.metric)
+            lsdb = LinkStateDatabase(topo)
+            for src in topo.nodes:
+                ours = lsdb.spf(src)
+                ref = nx.single_source_dijkstra_path_length(graph, src)
+                assert {k: v for k, v in ours.cost.items()} == ref
+
+    def test_spf_run_counter(self):
+        lsdb = LinkStateDatabase(line(3))
+        lsdb.spf("n0")
+        lsdb.spf("n1")
+        assert lsdb.spf_runs == 2

@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, main
+
+
+class TestCLI:
+    @pytest.mark.parametrize(
+        "command", ["table6", "figures", "hw-vs-sw", "throughput", "device"]
+    )
+    def test_commands_run(self, command, capsys):
+        assert main([command]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_table6_reports_matches(self, capsys):
+        main(["table6"])
+        out = capsys.readouterr().out
+        assert "MISMATCH" not in out
+        assert "3n + 5" in out
+
+    def test_figures_report_paper_values(self, capsys):
+        main(["figures"])
+        out = capsys.readouterr().out
+        assert "label_out=504" in out
+        assert "packetdiscard=1" in out
+
+    def test_device_shows_fit(self, capsys):
+        main(["device"])
+        out = capsys.readouterr().out
+        assert "EP1S40" in out
+        assert "yes" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_all_commands_registered(self):
+        assert set(COMMANDS) == {
+            "table6",
+            "worst-case",
+            "figures",
+            "hw-vs-sw",
+            "throughput",
+            "device",
+        }

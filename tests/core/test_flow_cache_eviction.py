@@ -1,0 +1,85 @@
+"""Tests for level-1 flow-cache capacity management (LRU eviction via
+the hardware remove path)."""
+
+import pytest
+
+from repro.core.hwnode import HardwareLSRNode
+from repro.mpls.fec import PrefixFEC
+from repro.mpls.forwarding import Action
+from repro.mpls.label import LabelOp
+from repro.mpls.nhlfe import NHLFE
+from repro.mpls.router import RouterRole
+from repro.net.packet import IPv4Packet
+
+
+def _ler(ib_depth=4):
+    node = HardwareLSRNode("ler-a", RouterRole.LER, ib_depth=ib_depth)
+    node.ftn.install(
+        PrefixFEC("10.2.0.0/16"),
+        NHLFE(op=LabelOp.PUSH, out_label=777, next_hop="lsr-1"),
+    )
+    return node
+
+
+def pkt(last_octet):
+    return IPv4Packet(src="10.1.0.5", dst=f"10.2.0.{last_octet}")
+
+
+class TestFlowCacheEviction:
+    def test_cache_never_exceeds_capacity(self):
+        node = _ler(ib_depth=4)
+        for i in range(10):
+            decision = node.receive(pkt(i))
+            assert decision.action is Action.FORWARD_MPLS
+        assert node.modifier.ib_counts()[0] <= 4
+        assert node.flow_cache_evictions == 6
+
+    def test_evicted_destination_relearns(self):
+        node = _ler(ib_depth=2)
+        node.receive(pkt(1))
+        node.receive(pkt(2))
+        node.receive(pkt(3))  # evicts dst .1
+        slow_before = node.slow_path_packets
+        decision = node.receive(pkt(1))  # must relearn, not blackhole
+        assert decision.action is Action.FORWARD_MPLS
+        assert node.slow_path_packets == slow_before + 1
+
+    def test_lru_order_recency_protects_hot_flows(self):
+        node = _ler(ib_depth=2)
+        node.receive(pkt(1))
+        node.receive(pkt(2))
+        node.receive(pkt(1))  # touch .1: now .2 is the LRU
+        node.receive(pkt(3))  # evicts .2
+        slow_before = node.slow_path_packets
+        assert node.receive(pkt(1)).action is Action.FORWARD_MPLS
+        assert node.slow_path_packets == slow_before  # .1 still cached
+        node.receive(pkt(2))
+        assert node.slow_path_packets == slow_before + 1  # .2 was evicted
+
+    def test_no_blackhole_after_overflow(self):
+        """The original bug: a full cache silently dropped the write
+        but recorded the destination, blackholing every later packet."""
+        node = _ler(ib_depth=2)
+        deliveries = 0
+        for i in range(20):
+            decision = node.receive(pkt(i % 5))
+            if decision.action is Action.FORWARD_MPLS:
+                deliveries += 1
+        assert deliveries == 20
+        assert not node.modifier._levels[0].overflow
+
+    def test_zero_capacity_falls_back_to_software(self):
+        """ILM mirroring can consume all of level 1; ingress must then
+        forward in software rather than thrash the cache."""
+        node = _ler(ib_depth=3)
+        # one ILM label mirrors into every level, eating the 3 slots
+        for label in (100, 200, 300):
+            node.ilm.install(
+                label, NHLFE(op=LabelOp.SWAP, out_label=label + 1,
+                             next_hop="x")
+            )
+        decision = node.receive(pkt(1))
+        assert decision.action is Action.FORWARD_MPLS
+        assert decision.packet.stack.top.label == 777
+        assert node.flow_cache_evictions == 0
+        assert len(node._flow_cache) == 0

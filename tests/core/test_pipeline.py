@@ -1,0 +1,44 @@
+"""Tests for the pipelined-architecture model."""
+
+import pytest
+
+from repro.core.pipeline import compare_pipeline, pipeline_point
+
+
+class TestPipelinePoint:
+    def test_stage_costs(self):
+        p = pipeline_point(1)
+        # ingress 4, modifier 14 (search hit-free worst: 3*1+5+6), egress 4
+        assert p.stage_cycles == (4, 14, 4)
+        assert p.sequential_cycles_per_packet == 22
+        assert p.pipelined_cycles_per_packet == 14
+
+    def test_speedup_bounded_by_stage_count(self):
+        p = pipeline_point(1)
+        assert 1.0 < p.speedup <= 3.0
+
+    def test_speedup_collapses_when_search_dominates(self):
+        small = pipeline_point(1)
+        big = pipeline_point(1024)
+        assert big.speedup < small.speedup
+        assert big.speedup == pytest.approx(1.0, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pipeline_point(0)
+
+
+class TestPipelineComparison:
+    def test_throughput_conversion(self):
+        cmp = compare_pipeline(table_sizes=(1,))
+        point = cmp.points[0]
+        seq = cmp.throughput_pps(point, pipelined=False)
+        pipe = cmp.throughput_pps(point, pipelined=True)
+        assert seq == pytest.approx(50e6 / 22)
+        assert pipe == pytest.approx(50e6 / 14)
+        assert pipe > seq
+
+    def test_monotone_speedup_decay(self):
+        cmp = compare_pipeline(table_sizes=(1, 16, 256, 1024))
+        speedups = [p.speedup for p in cmp.points]
+        assert speedups == sorted(speedups, reverse=True)

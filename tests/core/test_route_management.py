@@ -1,0 +1,81 @@
+"""Tests for the EmbeddedMPLS route-management API (the software
+control plane driving the hardware's modify/remove/read path)."""
+
+import pytest
+
+from repro.core.architecture import EmbeddedMPLS
+from repro.mpls.label import LabelOp
+from repro.mpls.router import RouterRole
+from repro.net.ethernet import ETHERTYPE_MPLS, EthernetFrame
+from repro.net.packet import IPv4Packet, MPLSPacket
+from repro.mpls.stack import LabelStack
+from repro.mpls.label import LabelEntry
+
+
+def labelled_frame(label, ttl=20):
+    packet = MPLSPacket(
+        LabelStack([LabelEntry(label=label, ttl=ttl)]),
+        IPv4Packet(src="10.1.0.5", dst="10.2.0.9"),
+    )
+    return EthernetFrame(
+        dst_mac="02:00:00:00:00:01",
+        src_mac="02:00:00:00:00:02",
+        ethertype=ETHERTYPE_MPLS,
+        payload=packet.serialize(),
+    )
+
+
+@pytest.fixture(params=["model", "rtl"])
+def lsr(request):
+    node = EmbeddedMPLS(role=RouterRole.LSR, backend=request.param,
+                        ib_depth=64)
+    node.install_swap(100, 200)
+    return node
+
+
+class TestRouteManagement:
+    def test_update_route_changes_forwarding(self, lsr):
+        before = lsr.process_frame(labelled_frame(100))
+        assert before.stack_after[0].label == 200
+        lsr.update_route(1, 100, 300, LabelOp.SWAP)
+        after = lsr.process_frame(labelled_frame(100))
+        assert after.stack_after[0].label == 300
+
+    def test_update_missing_route_raises(self, lsr):
+        with pytest.raises(KeyError):
+            lsr.update_route(1, 999, 300, LabelOp.SWAP)
+
+    def test_remove_route_blackholes(self, lsr):
+        lsr.remove_route(1, 100)
+        result = lsr.process_frame(labelled_frame(100))
+        assert result.discarded
+
+    def test_remove_missing_route_raises(self, lsr):
+        with pytest.raises(KeyError):
+            lsr.remove_route(1, 999)
+
+    def test_read_route_audits_contents(self, lsr):
+        entry = lsr.read_route(1, 0)
+        assert entry.valid
+        assert entry.index == 100
+        assert entry.label == 200
+        assert entry.op == LabelOp.SWAP
+
+    def test_cycles_reported(self, lsr):
+        update_cycles = lsr.update_route(1, 100, 300, LabelOp.SWAP)
+        assert update_cycles == (3 * 0 + 8) + 2
+        remove_cycles = lsr.remove_route(1, 100)
+        assert remove_cycles == (3 * 0 + 8) + 4
+
+    def test_forwarding_continues_after_churn(self, lsr):
+        """Install/update/remove cycles leave the data plane healthy."""
+        for label in range(300, 310):
+            lsr.install_swap(label, label + 1000)
+        lsr.update_route(1, 305, 777, LabelOp.SWAP)
+        lsr.remove_route(1, 303)
+        result = lsr.process_frame(labelled_frame(305))
+        assert result.stack_after[0].label == 777
+        result = lsr.process_frame(labelled_frame(303))
+        assert result.discarded
+        result = lsr.process_frame(labelled_frame(309))
+        assert result.stack_after[0].label == 1309

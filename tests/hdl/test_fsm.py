@@ -1,0 +1,112 @@
+"""Unit tests for the FSM framework."""
+
+import pytest
+
+from repro.hdl.fsm import FSM, State
+from repro.hdl.simulator import Simulator
+
+
+class _Blinker(FSM):
+    """IDLE -> ON -> OFF -> IDLE cycle gated by an enable wire."""
+
+    def __init__(self, sim):
+        super().__init__(sim, "blink", ["IDLE", "ON", "OFF"])
+        self.enable = self.wire("enable", 1)
+        self.lamp = self.wire("lamp", 1)
+
+    def transition(self):
+        if self.in_state("IDLE"):
+            return self.s("ON") if self.enable.value else self.s("IDLE")
+        if self.in_state("ON"):
+            return self.s("OFF")
+        return self.s("IDLE")
+
+    def output(self):
+        self.lamp.drive(1 if self.in_state("ON") else 0)
+
+
+class TestFSM:
+    def test_reset_state_is_first(self):
+        sim = Simulator()
+        fsm = _Blinker(sim)
+        assert fsm.state_name == "IDLE"
+
+    def test_stays_idle_without_enable(self):
+        sim = Simulator()
+        fsm = _Blinker(sim)
+        sim.step(3)
+        assert fsm.state_name == "IDLE"
+
+    def test_transition_takes_one_edge(self):
+        sim = Simulator()
+        fsm = _Blinker(sim)
+
+        class _En:
+            def __init__(self, sim, fsm):
+                from repro.hdl.simulator import Component
+
+                class D(Component):
+                    def settle(s):
+                        fsm.enable.drive(1)
+
+                D(sim, "en")
+
+        _En(sim, fsm)
+        sim.step()
+        assert fsm.state_name == "ON"
+        sim.step()
+        assert fsm.state_name == "OFF"
+        sim.step()
+        assert fsm.state_name == "IDLE"
+
+    def test_moore_output_follows_state(self):
+        sim = Simulator()
+        fsm = _Blinker(sim)
+        sim.settle_only()
+        assert fsm.lamp.value == 0
+
+    def test_unknown_state_lookup(self):
+        sim = Simulator()
+        fsm = _Blinker(sim)
+        with pytest.raises(KeyError):
+            fsm.s("NOPE")
+
+    def test_duplicate_states_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FSM(sim, "bad", ["A", "A"])
+
+    def test_empty_states_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FSM(sim, "bad", [])
+
+    def test_state_codes_stable(self):
+        sim = Simulator()
+        fsm = _Blinker(sim)
+        assert fsm.s("IDLE").code == 0
+        assert fsm.s("ON").code == 1
+        assert fsm.s("OFF").code == 2
+
+    def test_reset_returns_to_first_state(self):
+        sim = Simulator()
+        fsm = _Blinker(sim)
+        fsm._state_reg.stage(2)
+        fsm._state_reg.commit()
+        assert fsm.state_name == "OFF"
+        sim.reset()
+        assert fsm.state_name == "IDLE"
+
+    def test_transition_type_checked(self):
+        sim = Simulator()
+
+        class Bad(FSM):
+            def __init__(self, sim):
+                super().__init__(sim, "badfsm", ["A"])
+
+            def transition(self):
+                return "A"  # not a State
+
+        Bad(sim)
+        with pytest.raises(TypeError):
+            sim.step()

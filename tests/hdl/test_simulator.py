@@ -1,0 +1,117 @@
+"""Unit tests for the two-phase simulator."""
+
+import pytest
+
+from repro.hdl.simulator import (
+    CombinationalLoopError,
+    Component,
+    Simulator,
+)
+
+
+class _ToggleBit(Component):
+    """A register that inverts every cycle."""
+
+    def __init__(self, sim):
+        super().__init__(sim, "toggle")
+        self.q = self.reg("q", 1)
+
+    def settle(self):
+        self.q.stage(1 - self.q.value)
+
+
+class _Follower(Component):
+    """A wire combinationally following a register (tests settle order)."""
+
+    def __init__(self, sim, src):
+        super().__init__(sim, "follower")
+        self.src = src
+        self.out = self.wire("out", 1)
+
+    def settle(self):
+        self.out.drive(self.src.value)
+
+
+class _Oscillator(Component):
+    """A deliberately unstable combinational loop."""
+
+    def __init__(self, sim):
+        super().__init__(sim, "osc")
+        self.a = self.wire("a", 1)
+        self._flip = 0
+
+    def settle(self):
+        # drives a different value every settle pass: never converges
+        self._flip ^= 1
+        self.a.drive(self._flip)
+
+
+class TestSimulator:
+    def test_register_updates_once_per_cycle(self):
+        sim = Simulator()
+        t = _ToggleBit(sim)
+        assert t.q.value == 0
+        sim.step()
+        assert t.q.value == 1
+        sim.step()
+        assert t.q.value == 0
+
+    def test_wire_follows_register_in_same_cycle(self):
+        sim = Simulator()
+        t = _ToggleBit(sim)
+        f = _Follower(sim, t.q)
+        sim.step()
+        sim.settle_only()
+        assert f.out.value == t.q.value == 1
+
+    def test_cycle_counter(self):
+        sim = Simulator()
+        _ToggleBit(sim)
+        sim.step(5)
+        assert sim.cycle == 5
+
+    def test_combinational_loop_detected(self):
+        sim = Simulator(max_settle_passes=8)
+        _Oscillator(sim)
+        with pytest.raises(CombinationalLoopError):
+            sim.step()
+
+    def test_run_until(self):
+        sim = Simulator()
+        t = _ToggleBit(sim)
+        used = sim.run_until(lambda: sim.cycle == 4)
+        assert used == 4
+        assert t.q.value == 0
+
+    def test_run_until_timeout(self):
+        sim = Simulator()
+        _ToggleBit(sim)
+        with pytest.raises(TimeoutError):
+            sim.run_until(lambda: False, max_cycles=10)
+
+    def test_reset_restores_defaults_and_cycle(self):
+        sim = Simulator()
+        t = _ToggleBit(sim)
+        sim.step(3)
+        sim.reset()
+        assert sim.cycle == 0
+        assert t.q.value == 0
+
+    def test_duplicate_signal_names_rejected(self):
+        sim = Simulator()
+        sim.add_wire("x", 1)
+        with pytest.raises(ValueError):
+            sim.add_wire("x", 1)
+
+    def test_signal_lookup(self):
+        sim = Simulator()
+        w = sim.add_wire("top.bus", 8)
+        assert sim.signal("top.bus") is w
+
+    def test_on_tick_hook_sees_cycle(self):
+        sim = Simulator()
+        _ToggleBit(sim)
+        seen = []
+        sim.on_tick(seen.append)
+        sim.step(3)
+        assert seen == [1, 2, 3]

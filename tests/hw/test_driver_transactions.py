@@ -1,0 +1,259 @@
+"""Transaction-level tests of the label stack modifier.
+
+These tests exercise the full control unit + datapath through the
+driver, asserting both functional results and the exact cycle counts of
+Table 6.
+"""
+
+import pytest
+
+from repro.hw import ModifierDriver
+from repro.mpls.label import LabelEntry, LabelOp
+
+
+@pytest.fixture
+def drv():
+    driver = ModifierDriver(ib_depth=1024)
+    driver.reset()
+    return driver
+
+
+class TestTable6Constants:
+    """Table 6: the constant-cycle operations."""
+
+    def test_reset_is_3_cycles(self, drv):
+        assert drv.reset() == 3
+
+    def test_user_push_is_3_cycles(self, drv):
+        assert drv.user_push(LabelEntry(label=600, ttl=64)) == 3
+
+    def test_user_pop_is_3_cycles(self, drv):
+        drv.user_push(LabelEntry(label=600, ttl=64))
+        popped, cycles = drv.user_pop()
+        assert cycles == 3
+        assert popped.label == 600
+
+    def test_write_pair_is_3_cycles(self, drv):
+        assert drv.write_pair(1, 600, 500, LabelOp.SWAP) == 3
+        assert drv.write_pair(2, 16, 500, LabelOp.SWAP) == 3
+        assert drv.write_pair(3, 16, 500, LabelOp.SWAP) == 3
+
+
+class TestSearchCycles:
+    """Table 6: search = 3n + 5 worst case; a hit at (0-based) entry k
+    costs 3k + 8."""
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 10, 32])
+    def test_miss_is_3n_plus_5(self, drv, n):
+        for i in range(n):
+            drv.write_pair(2, 16 + i, 500 + i, LabelOp.SWAP)
+        result = drv.search(2, 0xFFFFF)
+        assert not result.found
+        assert result.cycles == 3 * n + 5
+
+    def test_empty_level_miss_is_5(self, drv):
+        result = drv.search(2, 16)
+        assert not result.found
+        assert result.cycles == 5
+
+    @pytest.mark.parametrize("k", [0, 1, 4, 9])
+    def test_hit_position_cost(self, drv, k):
+        for i in range(10):
+            drv.write_pair(2, 16 + i, 500 + i, LabelOp.SWAP)
+        result = drv.search(2, 16 + k)
+        assert result.found
+        assert result.cycles == 3 * k + 8
+
+    def test_worst_case_hit_equals_miss_formula(self, drv):
+        n = 10
+        for i in range(n):
+            drv.write_pair(2, 16 + i, 500 + i, LabelOp.SWAP)
+        result = drv.search(2, 16 + n - 1)
+        assert result.found
+        assert result.cycles == 3 * n + 5
+
+
+class TestSearchResults:
+    def test_level1_lookup_by_packet_id(self, drv):
+        """The Figure 14 scenario in miniature."""
+        ops = [LabelOp.PUSH, LabelOp.SWAP, LabelOp.POP]
+        for i in range(10):
+            drv.write_pair(1, 600 + i, 500 + i, ops[i % 3])
+        result = drv.search(1, 604)
+        assert result.found
+        assert result.label == 504
+        assert result.op == ops[4 % 3]
+        assert not result.discarded
+
+    def test_level2_lookup_by_label(self, drv):
+        """The Figure 15 scenario in miniature."""
+        for i in range(10):
+            drv.write_pair(2, i + 16, 500 + i, LabelOp.SWAP)
+        result = drv.search(2, 20)
+        assert result.found
+        assert result.label == 504
+
+    def test_miss_raises_packetdiscard(self, drv):
+        """The Figure 16 scenario: lookup of an absent label."""
+        for i in range(10):
+            drv.write_pair(2, i + 16, 500 + i, LabelOp.SWAP)
+        result = drv.search(2, 27 + 16)
+        assert not result.found
+        assert result.discarded
+        assert result.label is None
+
+    def test_duplicate_index_first_match_wins(self, drv):
+        drv.write_pair(2, 16, 100, LabelOp.SWAP)
+        drv.write_pair(2, 16, 200, LabelOp.SWAP)
+        result = drv.search(2, 16)
+        assert result.label == 100
+
+    def test_searches_do_not_disturb_stored_pairs(self, drv):
+        drv.write_pair(2, 16, 100, LabelOp.SWAP)
+        before = drv.modifier.dp.info_base.level(2).dump_pairs()
+        drv.search(2, 16)
+        drv.search(2, 999)
+        assert drv.modifier.dp.info_base.level(2).dump_pairs() == before
+
+
+class TestUpdateFlows:
+    def test_swap_from_info_base_is_search_plus_6(self, drv):
+        """Table 6: 'swap from the information base' = 6 cycles."""
+        drv.write_pair(1, 100, 200, LabelOp.SWAP)
+        drv.user_push(LabelEntry(label=100, cos=5, ttl=10))
+        result = drv.update()
+        search_cost = 3 * 0 + 8  # found at entry 0 of a 1-entry level
+        assert result.cycles == search_cost + 6
+        assert result.performed == LabelOp.SWAP
+
+    def test_swap_rewrites_label_and_decrements_ttl(self, drv):
+        drv.write_pair(1, 100, 200, LabelOp.SWAP)
+        drv.user_push(LabelEntry(label=100, cos=5, ttl=10))
+        result = drv.update()
+        assert len(result.stack) == 1
+        top = result.stack[0]
+        assert top.label == 200
+        assert top.ttl == 9
+        assert top.cos == 5  # "The CoS bits are not modified"
+        assert top.s == 1
+
+    def test_ingress_push_onto_empty_stack(self, drv):
+        """The LER case: the packet identifier keys level 1."""
+        drv.write_pair(1, 0x0A000001, 777, LabelOp.PUSH)
+        result = drv.update(packet_id=0x0A000001, ttl=64, cos=3)
+        assert result.performed == LabelOp.PUSH
+        assert len(result.stack) == 1
+        assert result.stack[0].label == 777
+        assert result.stack[0].ttl == 63
+        assert result.stack[0].cos == 3
+        assert result.stack[0].s == 1
+
+    def test_nested_push_costs_7_beyond_search(self, drv):
+        drv.write_pair(1, 777, 888, LabelOp.PUSH)
+        drv.user_push(LabelEntry(label=777, cos=1, ttl=20, s=1))
+        result = drv.update()
+        assert result.performed == LabelOp.PUSH
+        assert result.cycles == (3 * 0 + 8) + 7
+        assert [e.label for e in result.stack] == [888, 777]
+        # the old entry keeps its (decremented) TTL beneath the new one
+        assert [e.ttl for e in result.stack] == [19, 19]
+        assert [e.s for e in result.stack] == [0, 1]
+
+    def test_pop_from_info_base(self, drv):
+        drv.write_pair(1, 777, 888, LabelOp.PUSH)
+        drv.write_pair(2, 888, 16, LabelOp.POP)
+        drv.user_push(LabelEntry(label=777, cos=1, ttl=20))
+        drv.update()  # push 888 on top
+        result = drv.update()  # pop it back off
+        assert result.performed == LabelOp.POP
+        assert [e.label for e in result.stack] == [777]
+
+    def test_pop_propagates_decremented_ttl(self, drv):
+        drv.write_pair(2, 888, 16, LabelOp.POP)
+        drv.user_push(LabelEntry(label=777, cos=1, ttl=50))
+        drv.user_push(LabelEntry(label=888, cos=1, ttl=20))
+        result = drv.update()
+        assert result.stack[0].label == 777
+        assert result.stack[0].ttl == 19  # outer TTL - 1 written in
+
+    def test_pop_to_empty_stack_is_egress(self, drv):
+        drv.write_pair(1, 777, 16, LabelOp.POP)
+        drv.user_push(LabelEntry(label=777, ttl=20))
+        result = drv.update()
+        assert result.performed == LabelOp.POP
+        assert result.stack == ()
+        assert not result.discarded
+
+
+class TestUpdateDiscards:
+    def test_miss_discards_and_clears_stack(self, drv):
+        drv.user_push(LabelEntry(label=42, ttl=9))
+        result = drv.update()
+        assert result.discarded
+        assert result.stack == ()
+        assert result.performed is None
+
+    def test_ttl_1_expires(self, drv):
+        drv.write_pair(1, 100, 200, LabelOp.SWAP)
+        drv.user_push(LabelEntry(label=100, ttl=1))
+        result = drv.update()
+        assert result.discarded
+        assert result.stack == ()
+
+    def test_ttl_0_expires(self, drv):
+        drv.write_pair(1, 100, 200, LabelOp.SWAP)
+        drv.user_push(LabelEntry(label=100, ttl=0))
+        result = drv.update()
+        assert result.discarded
+
+    def test_ttl_2_survives(self, drv):
+        drv.write_pair(1, 100, 200, LabelOp.SWAP)
+        drv.user_push(LabelEntry(label=100, ttl=2))
+        result = drv.update()
+        assert not result.discarded
+        assert result.stack[0].ttl == 1
+
+    def test_noop_operation_is_inconsistent(self, drv):
+        drv.write_pair(1, 100, 200, LabelOp.NOOP)
+        drv.user_push(LabelEntry(label=100, ttl=9))
+        result = drv.update()
+        assert result.discarded
+
+    def test_swap_on_empty_stack_is_inconsistent(self, drv):
+        drv.write_pair(1, 0x0A000001, 200, LabelOp.SWAP)
+        result = drv.update(packet_id=0x0A000001, ttl=64)
+        assert result.discarded
+
+    def test_push_beyond_three_levels_is_inconsistent(self, drv):
+        drv.write_pair(1, 999, 1000, LabelOp.PUSH)
+        for label in (500, 600, 999):
+            drv.user_push(LabelEntry(label=label, ttl=9))
+        result = drv.update()  # stack already 3 deep
+        assert result.discarded
+
+    def test_lsr_with_empty_stack_is_inconsistent(self, drv):
+        """Table 3's rtrtype: a core LSR must never see unlabelled data."""
+        drv.set_router_type(is_lsr=True)
+        drv.write_pair(1, 0x0A000001, 777, LabelOp.PUSH)
+        result = drv.update(packet_id=0x0A000001, ttl=64)
+        assert result.discarded
+
+
+class TestDriverPlumbing:
+    def test_level_validation(self, drv):
+        with pytest.raises(ValueError):
+            drv.write_pair(0, 1, 2, LabelOp.SWAP)
+        with pytest.raises(ValueError):
+            drv.search(4, 1)
+
+    def test_total_cycles_accumulates(self, drv):
+        before = drv.total_cycles
+        drv.user_push(LabelEntry(label=600))
+        assert drv.total_cycles == before + 3
+
+    def test_back_to_back_transactions(self, drv):
+        """No dead cycles needed between operations ('no delays between
+        operations')."""
+        for i in range(5):
+            assert drv.write_pair(2, 16 + i, 500 + i, LabelOp.SWAP) == 3
+        assert drv.ib_counts() == (0, 5, 0)

@@ -1,0 +1,41 @@
+"""Robustness: undefined operation codes must be ignored.
+
+The ``extoperation`` input is 4 bits wide but only codes 1-8 are
+defined; presenting an undefined code (9-15) or NONE must leave every
+FSM in IDLE and the architectural state untouched.
+"""
+
+import pytest
+
+from repro.hw import ModifierDriver
+from repro.mpls.label import LabelEntry, LabelOp
+
+
+@pytest.mark.parametrize("bad_op", [9, 10, 12, 15])
+def test_undefined_opcode_is_ignored(bad_op):
+    drv = ModifierDriver(ib_depth=16)
+    drv.reset()
+    drv.write_pair(2, 16, 500, LabelOp.SWAP)
+    drv.user_push(LabelEntry(label=16, ttl=9, s=1))
+    stack_before = drv.stack()
+    counts_before = drv.ib_counts()
+
+    dp = drv.modifier.dp
+    drv._pins.set(dp.operation, bad_op)
+    drv.sim.step(3)
+    drv._pins.set(dp.operation, 0)
+    drv.sim.step(2)
+
+    assert not drv.modifier.busy
+    assert drv.stack() == stack_before
+    assert drv.ib_counts() == counts_before
+    # and the modifier still works afterwards
+    assert drv.search(2, 16).found
+
+
+def test_none_opcode_never_triggers():
+    drv = ModifierDriver(ib_depth=16)
+    drv.reset()
+    drv.sim.step(10)
+    assert not drv.modifier.busy
+    assert drv.sim.cycle >= 10

@@ -1,0 +1,114 @@
+"""Tests for the discrete event scheduler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.events import EventScheduler
+
+
+class TestEventScheduler:
+    def test_runs_in_time_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.at(3.0, lambda: order.append("c"))
+        sched.at(1.0, lambda: order.append("a"))
+        sched.at(2.0, lambda: order.append("b"))
+        sched.run()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        sched = EventScheduler()
+        order = []
+        for i in range(5):
+            sched.at(1.0, lambda i=i: order.append(i))
+        sched.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sched = EventScheduler()
+        times = []
+        sched.at(2.5, lambda: times.append(sched.now))
+        sched.run()
+        assert times == [2.5]
+        assert sched.now == 2.5
+
+    def test_after_relative(self):
+        sched = EventScheduler()
+        hits = []
+        sched.at(1.0, lambda: sched.after(0.5, lambda: hits.append(sched.now)))
+        sched.run()
+        assert hits == [1.5]
+
+    def test_cannot_schedule_in_past(self):
+        sched = EventScheduler()
+        sched.at(5.0, lambda: None)
+        sched.run()
+        with pytest.raises(ValueError):
+            sched.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().after(-1, lambda: None)
+
+    def test_run_until_stops(self):
+        sched = EventScheduler()
+        hits = []
+        sched.at(1.0, lambda: hits.append(1))
+        sched.at(10.0, lambda: hits.append(10))
+        sched.run(until=5.0)
+        assert hits == [1]
+        assert sched.now == 5.0
+        sched.run()
+        assert hits == [1, 10]
+
+    def test_cancel(self):
+        sched = EventScheduler()
+        hits = []
+        event = sched.at(1.0, lambda: hits.append(1))
+        sched.cancel(event)
+        sched.run()
+        assert hits == []
+
+    def test_pending_count(self):
+        sched = EventScheduler()
+        e1 = sched.at(1.0, lambda: None)
+        sched.at(2.0, lambda: None)
+        assert sched.pending == 2
+        sched.cancel(e1)
+        assert sched.pending == 1
+
+    def test_step(self):
+        sched = EventScheduler()
+        hits = []
+        sched.at(1.0, lambda: hits.append(1))
+        assert sched.step() is True
+        assert hits == [1]
+        assert sched.step() is False
+
+    def test_event_budget(self):
+        sched = EventScheduler()
+
+        def reschedule():
+            sched.after(0.001, reschedule)
+
+        sched.at(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            sched.run(max_events=100)
+
+    def test_processed_counter(self):
+        sched = EventScheduler()
+        for i in range(7):
+            sched.at(float(i), lambda: None)
+        sched.run()
+        assert sched.processed == 7
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=50))
+    def test_monotonic_time_property(self, times):
+        sched = EventScheduler()
+        seen = []
+        for t in times:
+            sched.at(t, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(times)

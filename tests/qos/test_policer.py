@@ -1,0 +1,63 @@
+"""Tests for the token-bucket policer."""
+
+import pytest
+
+from repro.qos.policer import PolicerAction, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_conforms(self):
+        tb = TokenBucket(rate_bps=8000, burst_bytes=1000)
+        assert tb.offer(1000, now=0.0) is PolicerAction.CONFORM
+
+    def test_excess_dropped(self):
+        tb = TokenBucket(rate_bps=8000, burst_bytes=1000)
+        tb.offer(1000, now=0.0)
+        assert tb.offer(1, now=0.0) is PolicerAction.EXCEED
+
+    def test_refill(self):
+        tb = TokenBucket(rate_bps=8000, burst_bytes=1000)
+        tb.offer(1000, now=0.0)
+        # 8000 bps = 1000 B/s; after 0.5 s, 500 tokens are back
+        assert tb.offer(500, now=0.5) is PolicerAction.CONFORM
+        assert tb.offer(1, now=0.5) is PolicerAction.EXCEED
+
+    def test_bucket_never_exceeds_burst(self):
+        tb = TokenBucket(rate_bps=8000, burst_bytes=1000)
+        tb.offer(0, now=100.0)  # long idle: still capped at burst
+        assert tb.tokens == pytest.approx(1000)
+
+    def test_sustained_rate(self):
+        """Offering exactly the rate conforms; double the rate loses
+        about half."""
+        tb = TokenBucket(rate_bps=80_000, burst_bytes=2000)
+        t = 0.0
+        for _ in range(100):  # 10 kB over 1 s at 10 kB/s = conform all
+            tb.offer(100, now=t)
+            t += 0.01
+        assert tb.exceeded == 0
+        tb2 = TokenBucket(rate_bps=80_000, burst_bytes=2000)
+        t = 0.0
+        for _ in range(200):  # 20 kB over 1 s: ~half must exceed
+            tb2.offer(100, now=t)
+            t += 0.005
+        assert tb2.exceeded == pytest.approx(90, abs=25)
+
+    def test_time_backwards_rejected(self):
+        tb = TokenBucket(rate_bps=8000, burst_bytes=1000)
+        tb.offer(10, now=1.0)
+        with pytest.raises(ValueError):
+            tb.offer(10, now=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_bps=0, burst_bytes=100)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_bps=100, burst_bytes=0)
+
+    def test_byte_counters(self):
+        tb = TokenBucket(rate_bps=8000, burst_bytes=100)
+        tb.offer(50, now=0.0)
+        tb.offer(500, now=0.0)
+        assert tb.conformed_bytes == 50
+        assert tb.exceeded_bytes == 500

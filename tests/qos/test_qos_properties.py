@@ -1,0 +1,128 @@
+"""Property-based tests of the QoS elements' invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qos.policer import PolicerAction, TokenBucket
+from repro.qos.queues import REDQueue, TailDropQueue
+from repro.qos.scheduler import PriorityScheduler, WFQScheduler
+
+sizes = st.integers(min_value=1, max_value=2000)
+cos_values = st.integers(min_value=0, max_value=7)
+
+
+class TestPolicerProperties:
+    @given(st.lists(st.tuples(sizes, st.floats(min_value=0.001, max_value=0.1)),
+                    max_size=50))
+    def test_conformed_never_exceeds_long_term_rate_plus_burst(self, offers):
+        """Token bucket bound: conformed bytes <= burst + rate * time."""
+        rate, burst = 80_000.0, 1500
+        tb = TokenBucket(rate_bps=rate, burst_bytes=burst)
+        t = 0.0
+        for size, gap in offers:
+            t += gap
+            tb.offer(size, now=t)
+        assert tb.conformed_bytes <= burst + rate / 8.0 * t + 1e-6
+
+    @given(st.lists(sizes, max_size=50))
+    def test_accounting_partitions_offers(self, offered):
+        tb = TokenBucket(rate_bps=8000, burst_bytes=1000)
+        for i, size in enumerate(offered):
+            tb.offer(size, now=float(i))
+        assert tb.conformed + tb.exceeded == len(offered)
+        assert tb.conformed_bytes + tb.exceeded_bytes == sum(offered)
+
+    @given(sizes)
+    def test_tokens_never_negative_or_above_burst(self, size):
+        tb = TokenBucket(rate_bps=8000, burst_bytes=1000)
+        tb.offer(size, now=0.0)
+        assert 0 <= tb.tokens <= 1000
+
+
+class TestQueueProperties:
+    @given(st.lists(st.integers(), max_size=100))
+    def test_taildrop_preserves_order_of_accepted(self, items):
+        q = TailDropQueue(capacity=16)
+        accepted = [item for item in items if q.enqueue(item)]
+        drained = []
+        while True:
+            item = q.dequeue()
+            if item is None:
+                break
+            drained.append(item)
+        assert drained == accepted
+
+    @given(st.lists(st.integers(), max_size=200), st.integers(0, 1000))
+    def test_red_never_exceeds_capacity(self, items, seed):
+        q = REDQueue(capacity=16, min_threshold=4, max_threshold=12,
+                     seed=seed)
+        for item in items:
+            q.enqueue(item)
+            assert len(q) <= 16
+
+    @given(st.lists(st.integers(), max_size=100), st.integers(0, 1000))
+    def test_red_accounting(self, items, seed):
+        q = REDQueue(capacity=16, min_threshold=4, max_threshold=12,
+                     seed=seed)
+        for item in items:
+            q.enqueue(item)
+        assert q.enqueued + q.dropped == len(items)
+
+
+class TestSchedulerProperties:
+    @given(st.lists(st.tuples(st.integers(), cos_values), max_size=60))
+    def test_priority_is_work_conserving(self, items):
+        s = PriorityScheduler(capacity_per_class=100)
+        for item, cos in items:
+            s.enqueue(item, cos)
+        drained = 0
+        while s.dequeue() is not None:
+            drained += 1
+        assert drained == len(items)
+        assert len(s) == 0
+
+    @given(st.lists(st.tuples(st.integers(), cos_values), max_size=60))
+    def test_priority_never_dequeues_lower_before_higher(self, items):
+        s = PriorityScheduler(capacity_per_class=100)
+        tagged = [((i, item), cos) for i, (item, cos) in enumerate(items)]
+        by_item = {key: cos for key, cos in tagged}
+        for key, cos in tagged:
+            s.enqueue(key, cos)
+        prev_cos = 8
+        while True:
+            key = s.dequeue()
+            if key is None:
+                break
+            cos = by_item[key]
+            assert cos <= prev_cos
+            prev_cos = cos
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(st.tuples(sizes, cos_values), min_size=1, max_size=40),
+        st.dictionaries(cos_values, st.floats(min_value=0.1, max_value=8),
+                        max_size=8),
+    )
+    def test_wfq_is_work_conserving(self, items, weights):
+        s = WFQScheduler(weights=weights, capacity_per_class=100)
+        for i, (size, cos) in enumerate(items):
+            s.enqueue((i, size), cos)
+        drained = 0
+        while s.dequeue() is not None:
+            drained += 1
+        assert drained == len(items)
+
+    @given(st.lists(st.tuples(sizes, cos_values), max_size=40))
+    def test_wfq_fifo_within_class(self, items):
+        s = WFQScheduler(capacity_per_class=100)
+        for i, (size, cos) in enumerate(items):
+            s.enqueue(((i, cos), size), cos)
+        seen_per_class = {}
+        while True:
+            out = s.dequeue()
+            if out is None:
+                break
+            (i, cos), _size = out
+            last = seen_per_class.get(cos, -1)
+            assert i > last
+            seen_per_class[cos] = i
