@@ -9,7 +9,7 @@ Table 6 benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.hw.driver import ModifierDriver
 from repro.hw.model import search_cycles, SWAP_TAIL_CYCLES
@@ -33,10 +33,17 @@ class CycleMeasurement:
 def measure_table6(
     search_sizes: Sequence[int] = (1, 10, 100),
     ib_depth: int = 1024,
+    driver: Optional[ModifierDriver] = None,
 ) -> List[CycleMeasurement]:
-    """Measure every Table 6 row on the RTL."""
+    """Measure every Table 6 row on the RTL.
+
+    Pass a ``driver`` to reuse an existing simulator instance -- e.g.
+    one with a :class:`~repro.obs.profiling.CycleProfiler` attached, so
+    the measurement doubles as a per-operation cycle profile
+    (``python -m repro stats`` does exactly that).
+    """
     rows: List[CycleMeasurement] = []
-    drv = ModifierDriver(ib_depth=ib_depth)
+    drv = driver if driver is not None else ModifierDriver(ib_depth=ib_depth)
 
     rows.append(
         CycleMeasurement("Reset", "3", 3, drv.reset())

@@ -14,7 +14,7 @@ vectorizing the hot loop rather than iterating in Python.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

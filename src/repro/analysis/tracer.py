@@ -1,20 +1,32 @@
 """Packet tracing: record a packet's journey hop by hop.
 
-Attaches to an :class:`~repro.net.network.MPLSNetwork` by wrapping each
-node's ``receive``; every processing step is recorded with the
-timestamp, the node, the label stack on arrival, and the decision --
-producing the per-packet view of the paper's Figure 2 ("MPLS packet
-exchange") for any traffic the simulation carries.
+The tracer is a *consumer of the telemetry event stream*: it attaches a
+:class:`~repro.obs.events.CallbackSink` to the process-wide event log
+and folds every :class:`~repro.obs.events.PacketForwarded` /
+:class:`~repro.obs.events.PacketDropped` record into per-packet
+:class:`PacketTrace` objects -- producing the per-packet view of the
+paper's Figure 2 ("MPLS packet exchange") for any traffic the
+simulation carries, without wrapping or monkey-patching any node.
+
+Constructing a tracer enables telemetry on the default
+:class:`~repro.obs.telemetry.Telemetry` (the data plane emits nothing
+otherwise); :meth:`NetworkTracer.detach` restores the previous state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
-from repro.mpls.forwarding import Action, ForwardingDecision
+from repro.mpls.forwarding import Action
 from repro.net.network import MPLSNetwork
-from repro.net.packet import IPv4Packet, MPLSPacket
+from repro.obs.events import (
+    CallbackSink,
+    Event,
+    PacketDropped,
+    PacketForwarded,
+)
+from repro.obs.telemetry import Telemetry, get_telemetry
 
 
 @dataclass(frozen=True)
@@ -70,59 +82,79 @@ class PacketTrace:
         return "\n".join(lines)
 
 
-def _stack_labels(
-    packet: Union[IPv4Packet, MPLSPacket]
-) -> Tuple[int, ...]:
-    if isinstance(packet, MPLSPacket):
-        return tuple(e.label for e in packet.stack)
-    return ()
-
-
-def _ttl(packet: Union[IPv4Packet, MPLSPacket]) -> int:
-    if isinstance(packet, MPLSPacket):
-        return packet.stack.top.ttl if not packet.stack.is_empty else packet.inner.ttl
-    return packet.ttl
-
-
 class NetworkTracer:
     """Records every packet's journey through a network.
 
-    Construct *after* the network (it wraps the nodes' ``receive``
-    methods in place).  Traces accumulate in :attr:`traces`.
+    Construct *after* the network; traces accumulate in :attr:`traces`
+    as the simulation emits packet events.  Only events for nodes that
+    belong to ``network`` are folded in, so concurrent networks sharing
+    the default telemetry do not pollute each other's traces.
     """
 
-    def __init__(self, network: MPLSNetwork) -> None:
+    def __init__(
+        self, network: MPLSNetwork, telemetry: Optional[Telemetry] = None
+    ) -> None:
         self.network = network
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self.traces: Dict[int, PacketTrace] = {}
-        for node in network.nodes.values():
-            self._wrap(node)
+        self._was_enabled = self.telemetry.enabled
+        self.telemetry.enable()
+        self._sink = self.telemetry.events.add_sink(
+            CallbackSink(self._on_event)
+        )
 
-    def _wrap(self, node) -> None:
-        original = node.receive
-
-        def traced(packet, _original=original, _node=node):
-            stack_in = _stack_labels(packet)
-            ttl_in = _ttl(packet)
-            decision: ForwardingDecision = _original(packet)
-            inner = packet.inner if isinstance(packet, MPLSPacket) else packet
-            trace = self.traces.setdefault(
-                inner.uid, PacketTrace(uid=inner.uid, flow_id=inner.flow_id)
+    def _on_event(self, event: Event) -> None:
+        if isinstance(event, PacketForwarded):
+            if event.node not in self.network.nodes:
+                return
+            self._hop(
+                event,
+                action=Action(event.action),
+                stack_out=tuple(event.labels_out),
+                reason=None,
             )
-            out = decision.packet
-            trace.hops.append(
-                HopRecord(
-                    time=self.network.scheduler.now,
-                    node=_node.name,
-                    stack_in=stack_in,
-                    ttl_in=ttl_in,
-                    action=decision.action,
-                    stack_out=_stack_labels(out) if out is not None else (),
-                    reason=decision.reason,
-                )
+        elif isinstance(event, PacketDropped):
+            if event.node not in self.network.nodes:
+                return
+            self._hop(
+                event,
+                action=Action.DISCARD,
+                stack_out=(),
+                reason=event.reason,
             )
-            return decision
 
-        node.receive = traced
+    def _hop(
+        self,
+        event,
+        action: Action,
+        stack_out: Tuple[int, ...],
+        reason: Optional[str],
+    ) -> None:
+        trace = self.traces.setdefault(
+            event.uid, PacketTrace(uid=event.uid, flow_id=event.flow_id)
+        )
+        time = (
+            event.time
+            if event.time is not None
+            else self.network.scheduler.now
+        )
+        trace.hops.append(
+            HopRecord(
+                time=time,
+                node=event.node,
+                stack_in=tuple(event.labels_in),
+                ttl_in=event.ttl_in,
+                action=action,
+                stack_out=stack_out,
+                reason=reason,
+            )
+        )
+
+    def detach(self) -> None:
+        """Stop tracing and restore the telemetry switch."""
+        self.telemetry.events.remove_sink(self._sink)
+        if not self._was_enabled:
+            self.telemetry.disable()
 
     # -- queries --------------------------------------------------------
     def trace_of(self, uid: int) -> PacketTrace:

@@ -8,14 +8,23 @@
 * ``hw-vs-sw``    -- the hardware/software partition comparison
 * ``throughput``  -- label-switching throughput vs table size
 * ``device``      -- the FPGA device model and memory budget
-* ``all``         -- everything above in sequence
+* ``stats``       -- run a telemetry-instrumented scenario and print
+  the metrics snapshot (Prometheus text + JSON) plus the cycle-level
+  profile of a Table 6 measurement
+* ``trace``       -- emit the structured event stream of the
+  quickstart scenario as JSON Lines
+* ``all``         -- every regeneration command above in sequence
+
+Every command returns a process exit code: 0 on success, 1 when a
+measured value disagrees with the paper (a MISMATCH) or an invariant
+fails.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, TextIO, Tuple
 
 from repro.analysis.cycles import measure_table6
 from repro.analysis.report import render_series, render_table
@@ -27,7 +36,7 @@ from repro.hw.driver import ModifierDriver
 from repro.mpls.label import LabelEntry, LabelOp
 
 
-def cmd_table6() -> None:
+def cmd_table6() -> int:
     rows = measure_table6(search_sizes=(1, 10, 100), ib_depth=1024)
     print(render_table(
         ["operation", "formula", "expected", "measured (RTL)", "match"],
@@ -35,9 +44,10 @@ def cmd_table6() -> None:
           "ok" if r.matches else "MISMATCH"] for r in rows],
         title="Table 6 -- processing times (worst-case clock cycles)",
     ))
+    return 0 if all(r.matches for r in rows) else 1
 
 
-def cmd_worst_case() -> None:
+def cmd_worst_case() -> int:
     wc = worst_case_scenario()
     rows = list(wc.as_rows())
     rows.append(("time at 50 MHz", f"{wc.seconds * 1e3:.4f} ms"))
@@ -58,9 +68,10 @@ def cmd_worst_case() -> None:
     print(f"RTL total: {total} cycles "
           f"({STRATIX_EP1S40.time_for_cycles(total) * 1e3:.4f} ms) -- "
           f"{'matches the paper' if total == 6167 else 'MISMATCH'}")
+    return 0 if total == 6167 else 1
 
 
-def cmd_figures() -> None:
+def cmd_figures() -> int:
     ops = [LabelOp.SWAP, LabelOp.POP, LabelOp.PUSH]
     drv = ModifierDriver(ib_depth=1024)
 
@@ -83,9 +94,10 @@ def cmd_figures() -> None:
     print(f"Figure 16: lookup(label=27, absent) -> found={miss.found} "
           f"cycles={miss.cycles} (3n+5, n=10) "
           f"packetdiscard={int(miss.discarded)}")
+    return 0
 
 
-def cmd_hw_vs_sw() -> None:
+def cmd_hw_vs_sw() -> int:
     cmp = compare_partitions()
     rows = [
         [p.n_entries, p.hw_cycles, round(p.hw_seconds * 1e6, 2),
@@ -100,9 +112,10 @@ def cmd_hw_vs_sw() -> None:
         "worst-case swap",
     ))
     print(f"hashed-software crossover at n = {cmp.crossover_entries()}")
+    return 0
 
 
-def cmd_throughput() -> None:
+def cmd_throughput() -> int:
     rows = []
     for n in (1, 16, 64, 256, 1024):
         est = estimate_throughput(n, packet_size_bytes=500)
@@ -112,9 +125,10 @@ def cmd_throughput() -> None:
         "IB entries", ["cycles/pkt", "pps", "Mbps (500B)"], rows,
         title="Worst-case label-switching throughput at 50 MHz",
     ))
+    return 0
 
 
-def cmd_device() -> None:
+def cmd_device() -> int:
     dev = STRATIX_EP1S40
     print(render_table(
         ["property", "value"],
@@ -129,9 +143,149 @@ def cmd_device() -> None:
         ],
         title="FPGA device model",
     ))
+    return 0
 
 
-COMMANDS: Dict[str, Callable[[], None]] = {
+# -- telemetry commands ------------------------------------------------------
+# `stats` and `trace` are observability views, not paper-result
+# regenerators, so they live outside COMMANDS (and outside `all`).
+
+def _quickstart_run() -> Tuple[object, object]:
+    """The quickstart scenario: Figure 1 topology, LDP-bound labels,
+    one CBR flow across the domain.  The caller is expected to have
+    telemetry enabled; returns (network, source)."""
+    from repro.control.ldp import LDPProcess
+    from repro.mpls.fec import PrefixFEC
+    from repro.mpls.router import RouterRole
+    from repro.net.network import MPLSNetwork
+    from repro.net.topology import paper_figure1
+    from repro.net.traffic import CBRSource
+
+    topology = paper_figure1(bandwidth_bps=10e6, delay_s=1e-3)
+    network = MPLSNetwork(
+        topology,
+        roles={"ler-a": RouterRole.LER, "ler-b": RouterRole.LER},
+    )
+    network.attach_host("ler-b", "10.2.0.0/16")
+    LDPProcess(topology, network.nodes).establish_fec(
+        PrefixFEC("10.2.0.0/16"), egress="ler-b"
+    )
+    source = CBRSource(
+        network.scheduler,
+        network.source_sink("ler-a"),
+        src="10.1.0.5",
+        dst="10.2.0.9",
+        rate_bps=1e6,
+        packet_size=500,
+        stop=0.5,
+    )
+    source.begin()
+    network.run(until=1.0)
+    return network, source
+
+
+def cmd_stats() -> int:
+    """Run the quickstart scenario and a profiled Table 6 measurement
+    under one telemetry session; print the full snapshot."""
+    from repro.obs import (
+        ConservationError,
+        CycleProfiler,
+        ListSink,
+        telemetry_session,
+        to_json,
+        to_prometheus,
+    )
+
+    rc = 0
+    with telemetry_session() as tel:
+        sink = tel.events.add_sink(ListSink())
+        network, source = _quickstart_run()
+        print(f"scenario: sent {source.sent}, "
+              f"delivered {network.delivered_count()}, "
+              f"dropped {network.drop_count()}")
+
+        # -- cycle-level profile of the Table 6 measurement ----------------
+        drv = ModifierDriver(ib_depth=1024)
+        profiler = CycleProfiler(drv.sim, telemetry=tel)
+        drv.attach_profiler(profiler)
+        rows = measure_table6(search_sizes=(1, 10, 100), driver=drv)
+        print()
+        print(render_table(
+            ["operation", "formula", "expected", "measured (RTL)", "match"],
+            [[r.operation, r.formula, r.expected, r.measured,
+              "ok" if r.matches else "MISMATCH"] for r in rows],
+            title="Table 6 -- measured under the cycle profiler",
+        ))
+        if not all(r.matches for r in rows):
+            rc = 1
+        print()
+        print("cycle profile (per scoped operation / FSM state):")
+        print(profiler.render())
+        try:
+            profiler.check_conservation()
+        except ConservationError as exc:
+            print(f"cycle conservation FAILED: {exc}")
+            rc = 1
+        else:
+            print("cycle conservation: ok (per-state and per-operation "
+                  "totals sum to the observed cycles)")
+        if profiler.cycles == drv.total_cycles:
+            print(f"profiler total == simulator total: "
+                  f"{profiler.cycles} cycles")
+        else:
+            print(f"profiler total {profiler.cycles} != simulator total "
+                  f"{drv.total_cycles}: MISMATCH")
+            rc = 1
+
+        # -- event log roll-up --------------------------------------------
+        kinds: Dict[str, int] = {}
+        for event in sink.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        print()
+        print(render_table(
+            ["event kind", "count"],
+            [[k, kinds[k]] for k in sorted(kinds)],
+            title=f"Event log ({tel.events.emitted} events)",
+        ))
+
+        # -- the snapshot itself ------------------------------------------
+        print()
+        print("# ---- Prometheus exposition ----")
+        print(to_prometheus(tel.registry))
+        print("# ---- JSON snapshot ----")
+        print(to_json(tel.registry))
+    return rc
+
+
+def cmd_trace(output: Optional[str] = None) -> int:
+    """Emit the quickstart scenario's event stream as JSON Lines --
+    to stdout, or to ``output`` when given."""
+    from repro.obs import JSONLSink, telemetry_session
+
+    with telemetry_session() as tel:
+        try:
+            stream: TextIO = open(output, "w") if output else sys.stdout
+        except OSError as exc:
+            print(f"error: cannot write {output}: {exc}", file=sys.stderr)
+            return 1
+        sink = tel.events.add_sink(JSONLSink(stream))
+        try:
+            network, source = _quickstart_run()
+        finally:
+            tel.events.remove_sink(sink)
+            if output:
+                stream.close()
+        print(
+            f"traced {tel.events.emitted} events "
+            f"({source.sent} packets sent, "
+            f"{network.delivered_count()} delivered)"
+            + (f" -> {output}" if output else ""),
+            file=sys.stderr,
+        )
+    return 0
+
+
+COMMANDS: Dict[str, Callable[[], int]] = {
     "table6": cmd_table6,
     "worst-case": cmd_worst_case,
     "figures": cmd_figures,
@@ -141,24 +295,36 @@ COMMANDS: Dict[str, Callable[[], None]] = {
 }
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's results.",
     )
     parser.add_argument(
         "command",
-        choices=[*COMMANDS, "all"],
-        help="which result to regenerate",
+        choices=[*COMMANDS, "all", "stats", "trace"],
+        help="which result to regenerate (or: stats / trace for the "
+        "telemetry views)",
+    )
+    parser.add_argument(
+        "-o", "--output",
+        metavar="FILE",
+        default=None,
+        help="trace only: write the JSONL event stream to FILE "
+        "instead of stdout",
     )
     args = parser.parse_args(argv)
+    if args.command == "stats":
+        return cmd_stats()
+    if args.command == "trace":
+        return cmd_trace(args.output)
     if args.command == "all":
+        worst = 0
         for name, fn in COMMANDS.items():
             print(f"\n===== {name} =====")
-            fn()
-    else:
-        COMMANDS[args.command]()
-    return 0
+            worst = max(worst, fn())
+        return worst
+    return COMMANDS[args.command]()
 
 
 if __name__ == "__main__":  # pragma: no cover

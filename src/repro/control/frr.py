@@ -15,12 +15,16 @@ onto the backups.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 from repro.control.cspf import CSPFError, cspf_path
 from repro.control.lsp import LSP
-from repro.control.rsvp_te import RSVPTESignaler, SignalingError
+from repro.control.rsvp_te import (
+    RSVPTESignaler,
+    SignalingError,
+    _note_lsp,
+)
 from repro.mpls.fec import FEC
 from repro.mpls.label import IMPLICIT_NULL, LabelOp
 from repro.mpls.nhlfe import NHLFE
@@ -148,6 +152,11 @@ class FastRerouteManager:
             )
             self.switchovers += 1
             repaired.append(protected.name)
+            _note_lsp(
+                "frr-switchover",
+                protected.name,
+                detail=f"link {a}-{b} failed; now on {protected.active}",
+            )
         return repaired
 
     def revert(self, name: str) -> None:
@@ -157,6 +166,7 @@ class FastRerouteManager:
             return
         self._steer(protected, protected.primary)
         protected.active = "primary"
+        _note_lsp("frr-revert", name, detail="back on primary")
 
     def _steer(self, protected: ProtectedPath, lsp: LSP) -> None:
         """One FTN rewrite at the ingress: the whole switchover."""

@@ -27,6 +27,8 @@ from repro.mpls.label import IMPLICIT_NULL, LabelOp
 from repro.mpls.nhlfe import NHLFE
 from repro.mpls.router import LSRNode
 from repro.net.topology import Topology
+from repro.obs.events import LabelMappingInstalled
+from repro.obs.telemetry import get_telemetry
 
 
 @dataclass
@@ -137,6 +139,19 @@ class LDPProcess:
                     NHLFE(op=LabelOp.PUSH, out_label=downstream, next_hop=nh),
                 )
         self.bindings.append(binding)
+        tel = get_telemetry()
+        if tel.enabled:
+            # converged-model LDP: the whole binding appears at once;
+            # one install event per router that received state
+            for name, label in sorted(binding.labels.items()):
+                tel.events.emit(
+                    LabelMappingInstalled(
+                        node=name,
+                        fec_id=str(fec),
+                        label=label,
+                        next_hop=binding.next_hops.get(name),
+                    )
+                )
         return binding
 
     def withdraw_fec(self, binding: FECBinding) -> None:

@@ -37,6 +37,8 @@ from repro.mpls.nhlfe import NHLFE
 from repro.mpls.router import LSRNode
 from repro.net.events import EventScheduler
 from repro.net.topology import Topology
+from repro.obs.events import LabelMappingInstalled, SessionStateChange
+from repro.obs.telemetry import get_telemetry
 
 
 class MsgType(Enum):
@@ -146,7 +148,21 @@ class LDPSpeaker:
         self.node.ilm.install(label, NHLFE(op=LabelOp.POP))
         state.advertised[self.name] = label
         state.installed_at[self.name] = self.process.scheduler.now
+        self._note_install(fec_id, label, next_hop=None)
         self._advertise(fec_id)
+
+    def _note_install(
+        self, fec_id: str, label: int, next_hop: Optional[str]
+    ) -> None:
+        """Telemetry: this router just installed forwarding state for
+        a FEC -- the per-router convergence instant."""
+        tel = get_telemetry()
+        if tel.enabled:
+            event = LabelMappingInstalled(
+                node=self.name, fec_id=fec_id, label=label, next_hop=next_hop
+            )
+            event.time = self.process.scheduler.now
+            tel.events.emit(event)
 
     def _advertise(self, fec_id: str, only_to: Optional[str] = None) -> None:
         label = self.local_labels[fec_id]
@@ -193,6 +209,7 @@ class LDPSpeaker:
             )
         state.advertised[self.name] = label
         state.installed_at[self.name] = self.process.scheduler.now
+        self._note_install(fec_id, label, next_hop=next_hop)
         self._advertise(fec_id)
 
     def _on_withdraw(self, msg: LDPMessage) -> None:
@@ -251,6 +268,9 @@ class MessageLDPProcess:
         if not self.topology.has_link(msg.src, msg.dst):
             return  # adjacency gone (link failed mid-flight)
         self.message_counts[msg.kind] += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.ldp_messages.labels(msg.kind.value).inc()
         delay = (
             self.topology.link(msg.src, msg.dst).delay_s
             + self.processing_delay
@@ -261,6 +281,12 @@ class MessageLDPProcess:
 
     def _session_up(self, a: str, b: str) -> None:
         self.sessions_established.append((self.scheduler.now, a, b))
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.ldp_sessions.inc()
+            event = SessionStateChange(node=a, peer=b, state="up")
+            event.time = self.scheduler.now
+            tel.events.emit(event)
 
     # -- operations --------------------------------------------------------
     def start(self) -> None:

@@ -16,7 +16,7 @@ would hold, so the data plane can forward immediately afterwards.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.control.cspf import cspf_path
@@ -27,6 +27,16 @@ from repro.mpls.label import IMPLICIT_NULL, LabelOp
 from repro.mpls.nhlfe import NHLFE
 from repro.mpls.router import LSRNode
 from repro.net.topology import Topology
+from repro.obs.events import LSPEvent
+from repro.obs.telemetry import get_telemetry
+
+
+def _note_lsp(event: str, name: str, detail: str = "") -> None:
+    """Telemetry: one LSP lifecycle event (no-op when disabled)."""
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.lsp_events.labels(event).inc()
+        tel.events.emit(LSPEvent(name=name, event=event, detail=detail))
 
 
 class SignalingError(Exception):
@@ -166,6 +176,11 @@ class RSVPTESignaler:
         )
         self.lsps[name] = lsp
         self._last_refresh[name] = 0.0
+        _note_lsp(
+            "setup",
+            name,
+            detail=f"{'->'.join(route)} @ {bandwidth_bps:g} bps",
+        )
         return lsp
 
     def _validate_route(self, route: List[str], ingress: str, egress: str) -> None:
@@ -194,6 +209,7 @@ class RSVPTESignaler:
             if now - last > hold_time
         ]
         for name in stale:
+            _note_lsp("expired", name, detail=f"no refresh by t={now:g}")
             self.teardown(name)
         return stale
 
@@ -216,3 +232,4 @@ class RSVPTESignaler:
         for a, b in zip(route, route[1:]):
             self.topology.link(a, b).release(a, lsp.bandwidth_bps)
         lsp.up = False
+        _note_lsp("teardown", name)

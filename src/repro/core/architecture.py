@@ -30,7 +30,6 @@ from repro.core.packet_processing import (
     EgressPacketProcessor,
     Frame,
     IngressPacketProcessor,
-    ParsedPacket,
 )
 from repro.hw.driver import ModifierDriver
 from repro.hw.model import FunctionalModifier

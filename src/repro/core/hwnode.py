@@ -36,7 +36,7 @@ coincide, since nested entries are created with equal TTLs.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Union
+from typing import Union
 
 from repro.hw.model import FunctionalModifier
 from repro.mpls.forwarding import (
@@ -48,6 +48,8 @@ from repro.mpls.label import LabelOp
 from repro.mpls.router import LSRNode, RouterRole
 from repro.mpls.stack import LabelStack
 from repro.net.packet import IPv4Packet, MPLSPacket
+from repro.obs.events import InfoBaseProgrammed
+from repro.obs.telemetry import get_telemetry
 
 
 class HardwareLSRNode(LSRNode):
@@ -76,6 +78,8 @@ class HardwareLSRNode(LSRNode):
         self.slow_path_packets = 0
         self.fast_path_packets = 0
         self.flow_cache_evictions = 0
+        #: data cycles already published to telemetry (delta tracking)
+        self._observed_data_cycles = 0
 
     # -- information-base synchronization ---------------------------------
     def _sync_info_base(self) -> None:
@@ -103,6 +107,19 @@ class HardwareLSRNode(LSRNode):
         mirrored = self.modifier.ib_counts()[0]
         self._flow_cache_capacity = max(0, self.modifier.ib_depth - mirrored)
         self.hw_control_cycles += cycles
+        tel = get_telemetry()
+        if tel.enabled:
+            entries = sum(self.modifier.ib_counts())
+            tel.hw_cycles.labels(self.name, "control").inc(cycles)
+            tel.info_base_writes.labels(self.name).inc(entries)
+            tel.events.emit(
+                InfoBaseProgrammed(
+                    node=self.name,
+                    entries=entries,
+                    cycles=cycles,
+                    reason=f"ilm generation {self.ilm.generation}",
+                )
+            )
 
     # -- the hardware data path ---------------------------------------------
     def receive(
@@ -121,6 +138,15 @@ class HardwareLSRNode(LSRNode):
             )
         decision = self._fill_interface(decision)
         self.stats.record(decision)
+        tel = get_telemetry()
+        if tel.enabled:
+            cycles_after = self.hw_data_cycles
+            delta = cycles_after - self._observed_data_cycles
+            self._observed_data_cycles = cycles_after
+            if delta:
+                tel.hw_cycles.labels(self.name, "data").inc(delta)
+                tel.hw_packet_cycles.labels(self.name).observe(delta)
+        self.observe(packet, decision)
         return decision
 
     def _load_stack(self, stack: LabelStack) -> int:

@@ -16,7 +16,7 @@ egress rebuilds the same frame type around the modified stack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.mpls.stack import LabelStack
 from repro.net.atm import ATMCell, reassemble_aal5, segment_aal5

@@ -24,6 +24,7 @@ from typing import List, Tuple
 
 from repro.core.device import FPGADevice, STRATIX_EP1S40
 from repro.core.timing import HardwareCycleModel
+from repro.obs.telemetry import get_telemetry
 
 #: Default per-stage costs (cycles) for the packet processing modules:
 #: parsing/rebuilding a frame is a streaming operation a hardware block
@@ -61,12 +62,17 @@ def pipeline_point(
     hw = HardwareCycleModel()
     modifier = hw.update_swap_worst(n_entries)
     stages = (ingress_cycles, modifier, egress_cycles)
-    return PipelinePoint(
+    point = PipelinePoint(
         n_entries=n_entries,
         stage_cycles=stages,
         sequential_cycles_per_packet=sum(stages),
         pipelined_cycles_per_packet=max(stages),
     )
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.model_evals.labels("pipeline").inc()
+        tel.pipeline_speedup.labels(str(n_entries)).set(point.speedup)
+    return point
 
 
 @dataclass(frozen=True)

@@ -15,8 +15,7 @@ the dedicated datapath does not, which is the paper's motivating claim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass
 
 from repro.core.device import FPGADevice, STRATIX_EP1S40
 from repro.hw.model import (
@@ -24,7 +23,6 @@ from repro.hw.model import (
     POP_TAIL_CYCLES,
     PUSH_TAIL_CYCLES,
     RESET_CYCLES,
-    SEARCH_HIT_BASE,
     SEARCH_OVERHEAD,
     SEARCH_PER_ENTRY,
     SWAP_TAIL_CYCLES,
@@ -34,6 +32,7 @@ from repro.hw.model import (
     search_cycles,
 )
 from repro.mpls.forwarding import OpCounts
+from repro.obs.telemetry import get_telemetry
 
 
 class HardwareCycleModel:
@@ -125,6 +124,9 @@ def worst_case_scenario(
     search = SEARCH_PER_ENTRY * n_entries + SEARCH_OVERHEAD
     swap = SWAP_TAIL_CYCLES
     total = reset + pushes + writes + search + swap
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.model_evals.labels("worst-case").inc()
     return WorstCaseBreakdown(
         reset=reset,
         pushes=pushes,
@@ -163,6 +165,9 @@ class SoftwareCostModel:
         hash-based lookup (the common software optimization; used by
         the search-scaling ablation bench).
         """
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.model_evals.labels("software-cost").inc()
         lookups = counts.ftn_lookups + counts.ilm_lookups
         if hashed:
             lookup_cost = lookups * self.per_hash_lookup

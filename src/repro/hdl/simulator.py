@@ -16,7 +16,7 @@ design is simply a tree of :class:`Component` objects sharing one
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.hdl.signal import Reg, Signal, Wire
 
@@ -112,13 +112,28 @@ class Simulator:
         """Name -> signal mapping (read-only view by convention)."""
         return self._signals
 
+    @property
+    def components(self) -> List[Component]:
+        """The registered components, in construction order.
+
+        Observability tooling (:class:`repro.obs.profiling.CycleProfiler`)
+        discovers FSMs and memories from this list instead of reaching
+        into private state.
+        """
+        return list(self._components)
+
     def signal(self, name: str) -> Signal:
         return self._signals[name]
 
     def on_tick(self, hook: Callable[[int], None]) -> None:
         """Register a hook called after each clock edge with the cycle
-        number just completed (used by waveform recorders)."""
+        number just completed (used by waveform recorders and the cycle
+        profiler)."""
         self._tick_hooks.append(hook)
+
+    def remove_tick_hook(self, hook: Callable[[int], None]) -> None:
+        """Detach a hook previously passed to :meth:`on_tick`."""
+        self._tick_hooks.remove(hook)
 
     # -- simulation ------------------------------------------------------
     def _settle(self) -> None:

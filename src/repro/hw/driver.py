@@ -71,11 +71,26 @@ class ModifierDriver:
         self.sim = self.modifier.sim
         self._pins = _WireDriver(self.sim, "pins")
         self.total_cycles = 0
+        #: Optional :class:`repro.obs.profiling.CycleProfiler`; when
+        #: attached, every transaction's cycles are scoped under the
+        #: operation's name for per-operation breakdowns.
+        self.profiler = None
+
+    def attach_profiler(self, profiler) -> None:
+        """Scope subsequent transactions under the profiler's
+        operation labels (see :mod:`repro.obs.profiling`)."""
+        self.profiler = profiler
 
     # -- low-level transaction plumbing -----------------------------------
     def _issue(self, op: UserOp, **operands: int) -> int:
         """Present a command for one cycle, run to completion, return
         the cycle count."""
+        if self.profiler is not None:
+            with self.profiler.operation(op.name):
+                return self._issue_unprofiled(op, **operands)
+        return self._issue_unprofiled(op, **operands)
+
+    def _issue_unprofiled(self, op: UserOp, **operands: int) -> int:
         if self.modifier.busy:
             raise RuntimeError("modifier is busy; cannot issue a command")
         dp = self.modifier.dp
@@ -113,7 +128,13 @@ class ModifierDriver:
         """The 3-cycle reset sequence of Table 6."""
         self.sim.reset()
         self._pins.clear()
-        self.sim.step(RESET_CYCLES)
+        if self.profiler is not None:
+            # the async reset changed state without a clock edge
+            self.profiler.resync()
+            with self.profiler.operation("RESET"):
+                self.sim.step(RESET_CYCLES)
+        else:
+            self.sim.step(RESET_CYCLES)
         self.total_cycles += RESET_CYCLES
         return RESET_CYCLES
 

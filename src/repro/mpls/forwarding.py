@@ -6,10 +6,16 @@ steps the paper's Figure 9 state machine performs -- search the
 information base, verify, decrement the TTL, apply push/swap/pop -- but
 as straight-line Python over the ILM/FTN tables.
 
-The engine also keeps an :class:`OpCounts` tally of every elementary
-operation (table lookups, entries scanned, stack ops, TTL updates).
-:mod:`repro.core.timing` converts those tallies into cycle estimates for
-the hardware-vs-software comparison benchmarks.
+Elementary-operation accounting lives on the telemetry layer: when the
+process-wide :class:`~repro.obs.telemetry.Telemetry` is enabled, every
+table lookup, entry scan, stack operation, TTL update and discard is
+counted in the metrics registry (``repro_mpls_ops_total{node,op}``) and
+the stack operations are additionally emitted as
+:class:`~repro.obs.events.LabelOpApplied` events.  The legacy
+:class:`OpCounts` tally is kept in step as a cheap per-engine view --
+:mod:`repro.core.timing` still prices it into cycle estimates for the
+hardware-vs-software comparison benchmarks, and existing callers of
+``engine.counts`` keep working unchanged.
 
 TTL handling follows the uniform model of RFC 3443, which is also what
 the paper describes: the TTL travels with the packet, is decremented at
@@ -18,7 +24,7 @@ every router, and the packet is discarded when it would reach zero.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Optional, Union
 
@@ -26,7 +32,6 @@ from repro.mpls.errors import (
     LabelLookupMiss,
     NoRouteError,
     StackUnderflow,
-    TTLExpired,
 )
 from repro.mpls.label import (
     IPV4_EXPLICIT_NULL,
@@ -34,11 +39,12 @@ from repro.mpls.label import (
     ROUTER_ALERT,
     LabelEntry,
     LabelOp,
-    RESERVED_LABEL_MAX,
 )
 from repro.mpls.stack import LabelStack
 from repro.mpls.tables import FTN, ILM
 from repro.net.packet import IPv4Packet, MPLSPacket
+from repro.obs.events import LabelOpApplied
+from repro.obs.telemetry import Telemetry, get_telemetry
 
 
 class Action(Enum):
@@ -50,13 +56,17 @@ class Action(Enum):
     DISCARD = "discard"
 
 
-@dataclass
+@dataclass(repr=False)
 class OpCounts:
     """Tally of elementary data-plane operations.
 
-    The software cost model in :mod:`repro.core.timing` prices each
-    field; the benchmarks use the totals to compare software forwarding
-    against the hardware cycle counts of Table 6.
+    .. deprecated::
+        New code should read these counts from the telemetry registry
+        (``repro_mpls_ops_total{node,op}``, see :mod:`repro.obs`); this
+        class remains as a compatibility shim because the software cost
+        model in :mod:`repro.core.timing` prices each field and the
+        benchmarks consume ``engine.counts`` directly.  The engine
+        keeps both views in step, so existing callers need no change.
     """
 
     ftn_lookups: int = 0
@@ -67,6 +77,18 @@ class OpCounts:
     swaps: int = 0
     ttl_updates: int = 0
     discards: int = 0
+
+    #: Registry ``op`` label for each field (the migration mapping).
+    REGISTRY_OPS = {
+        "ftn_lookups": "ftn-lookup",
+        "ilm_lookups": "ilm-lookup",
+        "entries_scanned": "entry-scanned",
+        "pushes": "push",
+        "pops": "pop",
+        "swaps": "swap",
+        "ttl_updates": "ttl-update",
+        "discards": "discard",
+    }
 
     def merged(self, other: "OpCounts") -> "OpCounts":
         return OpCounts(
@@ -79,6 +101,34 @@ class OpCounts:
             ttl_updates=self.ttl_updates + other.ttl_updates,
             discards=self.discards + other.discards,
         )
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.REGISTRY_OPS}
+
+    @property
+    def total(self) -> int:
+        return sum(self.as_dict().values())
+
+    def summary(self) -> str:
+        """One line, non-zero fields only -- for logs and benchmarks."""
+        parts = [
+            f"{self.REGISTRY_OPS[name]}={value}"
+            for name, value in self.as_dict().items()
+            if value
+        ]
+        return "OpCounts(" + (" ".join(parts) if parts else "all zero") + ")"
+
+    __repr__ = summary
+
+    def publish(self, telemetry: Telemetry, node: str) -> None:
+        """Add this tally to the registry's ``repro_mpls_ops_total``
+        (used when a run finished with telemetry enabled only at
+        snapshot time)."""
+        for name, value in self.as_dict().items():
+            if value:
+                telemetry.mpls_ops.labels(node, self.REGISTRY_OPS[name]).inc(
+                    value
+                )
 
 
 @dataclass(frozen=True)
@@ -120,6 +170,28 @@ class ForwardingEngine:
         self.node_name = node_name
         self.counts = OpCounts()
 
+    # -- telemetry mirroring ------------------------------------------------
+    def _mirror(self, tel: Telemetry, op: str, amount: int = 1) -> None:
+        """One elementary operation onto the registry (enabled only)."""
+        tel.mpls_ops.labels(self.node_name, op).inc(amount)
+
+    def _emit_stack_op(
+        self,
+        tel: Telemetry,
+        op: str,
+        label_in: Optional[int],
+        label_out: Optional[int],
+    ) -> None:
+        self._mirror(tel, op)
+        tel.events.emit(
+            LabelOpApplied(
+                node=self.node_name,
+                op=op,
+                label_in=label_in,
+                label_out=label_out,
+            )
+        )
+
     # -- ingress (LER): unlabelled in, labelled out -------------------------
     def ingress(self, packet: IPv4Packet) -> ForwardingDecision:
         """Classify an unlabelled packet and push its first label.
@@ -128,23 +200,35 @@ class ForwardingEngine:
         label is then attached to that packet and sent into the MPLS
         core network."
         """
+        tel = get_telemetry()
+        observing = tel.enabled
         self.counts.ftn_lookups += 1
+        if observing:
+            self._mirror(tel, "ftn-lookup")
         try:
             fec, nhlfe = self.ftn.lookup(packet)
         except NoRouteError as exc:
             self.counts.discards += 1
+            if observing:
+                self._mirror(tel, "discard")
             return ForwardingDecision(
                 Action.DISCARD, reason=f"{self.node_name}: {exc}"
             )
         self.counts.entries_scanned += len(self.ftn)
+        if observing:
+            self._mirror(tel, "entry-scanned", len(self.ftn))
         if packet.ttl <= 1:
             self.counts.discards += 1
+            if observing:
+                self._mirror(tel, "discard")
             return ForwardingDecision(
                 Action.DISCARD,
                 reason=f"{self.node_name}: IPv4 TTL expired at ingress",
             )
         inner = packet.decremented()
         self.counts.ttl_updates += 1
+        if observing:
+            self._mirror(tel, "ttl-update")
         if nhlfe.op is not LabelOp.PUSH:
             # An FTN entry that does not push means the FEC is reachable
             # without labels (e.g. a directly attached network).
@@ -162,6 +246,8 @@ class ForwardingEngine:
         )
         stack = LabelStack().push(entry)
         self.counts.pushes += 1
+        if observing:
+            self._emit_stack_op(tel, "push", None, entry.label)
         return ForwardingDecision(
             Action.FORWARD_MPLS,
             packet=MPLSPacket(stack, inner),
@@ -177,10 +263,14 @@ class ForwardingEngine:
         the top label, discard on miss or TTL expiry, otherwise apply
         the stored operation.
         """
+        tel = get_telemetry()
+        observing = tel.enabled
         try:
             top = packet.stack.top
         except StackUnderflow:
             self.counts.discards += 1
+            if observing:
+                self._mirror(tel, "discard")
             return ForwardingDecision(
                 Action.DISCARD,
                 reason=f"{self.node_name}: labelled packet with empty stack",
@@ -193,10 +283,15 @@ class ForwardingEngine:
 
         self.counts.ilm_lookups += 1
         self.counts.entries_scanned += len(self.ilm)
+        if observing:
+            self._mirror(tel, "ilm-lookup")
+            self._mirror(tel, "entry-scanned", len(self.ilm))
         try:
             nhlfe = self.ilm.lookup(top.label)
         except LabelLookupMiss:
             self.counts.discards += 1
+            if observing:
+                self._mirror(tel, "discard")
             return ForwardingDecision(
                 Action.DISCARD,
                 reason=(
@@ -206,15 +301,21 @@ class ForwardingEngine:
 
         if top.ttl <= 1:
             self.counts.discards += 1
+            if observing:
+                self._mirror(tel, "discard")
             return ForwardingDecision(
                 Action.DISCARD,
                 reason=f"{self.node_name}: MPLS TTL expired",
             )
         top = top.decremented()
         self.counts.ttl_updates += 1
+        if observing:
+            self._mirror(tel, "ttl-update")
 
         if nhlfe.op is LabelOp.SWAP:
             self.counts.swaps += 1
+            if observing:
+                self._emit_stack_op(tel, "swap", top.label, nhlfe.out_label)
             new_top = top.with_label(nhlfe.out_label)  # type: ignore[arg-type]
             stack = packet.stack.swap(new_top)
             return ForwardingDecision(
@@ -233,6 +334,8 @@ class ForwardingEngine:
             max_depth = packet.stack.max_depth
             if max_depth is not None and packet.stack.depth >= max_depth:
                 self.counts.discards += 1
+                if observing:
+                    self._mirror(tel, "discard")
                 return ForwardingDecision(
                     Action.DISCARD,
                     reason=(
@@ -241,6 +344,8 @@ class ForwardingEngine:
                     ),
                 )
             self.counts.pushes += 1
+            if observing:
+                self._emit_stack_op(tel, "push", top.label, nhlfe.out_label)
             stack = packet.stack.swap(top)
             cos = nhlfe.cos if nhlfe.cos is not None else top.cos
             stack = stack.push(
@@ -284,12 +389,17 @@ class ForwardingEngine:
         """Pop the top entry, propagating the TTL downward (uniform
         model): into the next entry, or into the IP header at the
         bottom of the stack."""
+        tel = get_telemetry()
+        observing = tel.enabled
         self.counts.pops += 1
         _, rest = packet.stack.pop()
         if rest.is_empty:
             inner = packet.inner
             inner = inner.with_ttl(min(top.ttl, inner.ttl))
             self.counts.ttl_updates += 1
+            if observing:
+                self._emit_stack_op(tel, "pop", top.label, None)
+                self._mirror(tel, "ttl-update")
             return ForwardingDecision(
                 Action.FORWARD_IP,
                 packet=inner,
@@ -299,6 +409,9 @@ class ForwardingEngine:
         exposed = rest.top.with_ttl(min(top.ttl, rest.top.ttl))
         rest = rest.swap(exposed)
         self.counts.ttl_updates += 1
+        if observing:
+            self._emit_stack_op(tel, "pop", top.label, exposed.label)
+            self._mirror(tel, "ttl-update")
         return ForwardingDecision(
             Action.FORWARD_MPLS,
             packet=packet.with_stack(rest),

@@ -22,6 +22,25 @@ from repro.mpls.forwarding import (
 )
 from repro.mpls.tables import FTN, ILM
 from repro.net.packet import IPv4Packet, MPLSPacket
+from repro.obs.events import PacketDropped, PacketForwarded
+from repro.obs.telemetry import get_telemetry
+
+
+def stack_labels(packet: Union[IPv4Packet, MPLSPacket]) -> tuple:
+    """The packet's label stack as a tuple of label values (empty for
+    plain IP) -- the on-the-wire view telemetry and tracing record."""
+    if isinstance(packet, MPLSPacket):
+        return tuple(e.label for e in packet.stack)
+    return ()
+
+
+def packet_ttl(packet: Union[IPv4Packet, MPLSPacket]) -> int:
+    """The TTL a node sees first: the top label's, else the IP header's."""
+    if isinstance(packet, MPLSPacket):
+        if not packet.stack.is_empty:
+            return packet.stack.top.ttl
+        return packet.inner.ttl
+    return packet.ttl
 
 
 class RouterRole(Enum):
@@ -121,7 +140,56 @@ class LSRNode:
             decision = self.engine.process(packet)
         decision = self._fill_interface(decision)
         self.stats.record(decision)
+        self.observe(packet, decision)
         return decision
+
+    def observe(
+        self,
+        packet: Union[IPv4Packet, MPLSPacket],
+        decision: ForwardingDecision,
+    ) -> None:
+        """Emit the per-packet telemetry for one processing step.
+
+        No-op unless the process-wide telemetry is enabled; the event
+        stream this produces is what :class:`repro.analysis.tracer.
+        NetworkTracer` and ``repro trace`` consume.
+        """
+        tel = get_telemetry()
+        if not tel.enabled:
+            return
+        tel.packets.labels(self.name, decision.action.value).inc()
+        inner = packet.inner if isinstance(packet, MPLSPacket) else packet
+        labels_in = stack_labels(packet)
+        ttl_in = packet_ttl(packet)
+        if decision.action is Action.DISCARD:
+            reason = decision.reason or "unspecified"
+            tel.drops.labels(
+                self.name, reason.split(":")[-1].strip()
+            ).inc()
+            tel.events.emit(
+                PacketDropped(
+                    node=self.name,
+                    uid=inner.uid,
+                    flow_id=inner.flow_id,
+                    reason=reason,
+                    labels_in=labels_in,
+                    ttl_in=ttl_in,
+                )
+            )
+        else:
+            out = decision.packet
+            tel.events.emit(
+                PacketForwarded(
+                    node=self.name,
+                    uid=inner.uid,
+                    flow_id=inner.flow_id,
+                    action=decision.action.value,
+                    labels_in=labels_in,
+                    labels_out=stack_labels(out) if out is not None else (),
+                    ttl_in=ttl_in,
+                    next_hop=decision.next_hop,
+                )
+            )
 
     def _fill_interface(
         self, decision: ForwardingDecision

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
-from repro.mpls.errors import InvalidLabelError, LabelLookupMiss, NoRouteError
-from repro.mpls.label import RESERVED_LABEL_MAX, require_real_label
+from repro.mpls.errors import LabelLookupMiss, NoRouteError
+from repro.mpls.label import require_real_label
 
 if TYPE_CHECKING:  # annotation-only; avoids the fec <-> net import cycle
     from repro.mpls.fec import FEC

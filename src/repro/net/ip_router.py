@@ -17,7 +17,7 @@ can compare the two data planes on identical topologies and traffic:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.control.routing import LinkStateDatabase
 from repro.mpls.forwarding import Action, ForwardingDecision

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Deque, Optional, Tuple
 
 from repro.net.events import EventScheduler
+from repro.obs.telemetry import get_telemetry
 
 
 class DropTailQueue:
@@ -94,9 +95,18 @@ class SimplexChannel:
 
     def send(self, packet: Any, size_bytes: int, cos: int = 0) -> bool:
         """Queue a packet for transmission.  Returns False on drop."""
+        tel = get_telemetry()
         if not self.queue.enqueue((packet, size_bytes), cos):
             self.dropped += 1
+            if tel.enabled:
+                tel.link_drops.labels(
+                    self.src.node, self.dst.node, "queue-overflow"
+                ).inc()
             return False
+        if tel.enabled:
+            tel.queue_depth.labels(self.src.node, self.dst.node).set(
+                len(self.queue)
+            )
         if not self._busy:
             self._start_next()
         return True
@@ -107,6 +117,11 @@ class SimplexChannel:
             self._busy = False
             return
         packet, size_bytes = item
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.queue_depth.labels(self.src.node, self.dst.node).set(
+                len(self.queue)
+            )
         self._busy = True
         tx_time = size_bytes * 8 / self.bandwidth_bps
         self.scheduler.after(tx_time, lambda: self._tx_done(packet, size_bytes))
@@ -114,9 +129,19 @@ class SimplexChannel:
     def _tx_done(self, packet: Any, size_bytes: int) -> None:
         self.tx_packets += 1
         self.tx_bytes += size_bytes
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.link_tx_packets.labels(self.src.node, self.dst.node).inc()
+            tel.link_tx_bytes.labels(self.src.node, self.dst.node).inc(
+                size_bytes
+            )
         if self.loss_rate and self._loss_rng.random() < self.loss_rate:
             # lost on the wire: transmitted but never arrives
             self.lost += 1
+            if tel.enabled:
+                tel.link_drops.labels(
+                    self.src.node, self.dst.node, "wire-loss"
+                ).inc()
         else:
             self.scheduler.after(self.delay_s, lambda: self._arrive(packet))
         self._start_next()

@@ -17,7 +17,7 @@ the edge LERs into one simulated MPLS domain:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.mpls.forwarding import Action
@@ -27,6 +27,7 @@ from repro.net.events import EventScheduler
 from repro.net.link import DropTailQueue, Interface, Link
 from repro.net.packet import IPv4Packet, MPLSPacket
 from repro.net.topology import Topology
+from repro.obs.telemetry import get_telemetry
 from repro.qos.classifier import cos_of_packet
 
 
@@ -82,6 +83,11 @@ class MPLSNetwork:
     ) -> None:
         self.topology = topology
         self.scheduler = scheduler if scheduler is not None else EventScheduler()
+        # telemetry events carry simulation time: point the default
+        # event log's clock at this network's scheduler (the latest
+        # constructed network wins, which matches one-network-per-run
+        # usage in the tests, benchmarks and CLI)
+        get_telemetry().events.clock = lambda: self.scheduler.now
         roles = roles or {}
         self.nodes: Dict[str, LSRNode] = {}
         for name in topology.nodes:
@@ -184,6 +190,7 @@ class MPLSNetwork:
             relookups += 1
         now = self.scheduler.now
         if decision.action is Action.DISCARD:
+            # the node's own telemetry already counted this discard
             self.drops.append(
                 Drop(now, node_name, decision.reason or "unspecified")
             )
@@ -199,30 +206,34 @@ class MPLSNetwork:
                 self._deliver(node_name, inner)
                 return
         if decision.next_hop is None:
-            self.drops.append(
-                Drop(now, node_name, f"{node_name}: no next hop resolved")
+            self._record_drop(
+                now, node_name, f"{node_name}: no next hop resolved"
             )
             return
         link = self._link_of.get((node_name, decision.next_hop))
         if link is None:
-            self.drops.append(
-                Drop(
-                    now,
-                    node_name,
-                    f"{node_name}: no link towards {decision.next_hop}",
-                )
+            self._record_drop(
+                now,
+                node_name,
+                f"{node_name}: no link towards {decision.next_hop}",
             )
             return
         channel = link.channel_from(node_name)
         accepted = channel.send(out, out.length, cos=cos_of_packet(out))
         if not accepted:
-            self.drops.append(
-                Drop(
-                    now,
-                    node_name,
-                    f"{node_name}: queue overflow towards {decision.next_hop}",
-                )
+            self._record_drop(
+                now,
+                node_name,
+                f"{node_name}: queue overflow towards {decision.next_hop}",
             )
+
+    def _record_drop(self, now: float, node_name: str, reason: str) -> None:
+        self.drops.append(Drop(now, node_name, reason))
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.drops.labels(
+                node_name, reason.split(":")[-1].strip()
+            ).inc()
 
     def _is_attached(self, node_name: str, packet: IPv4Packet) -> bool:
         return any(
@@ -231,7 +242,12 @@ class MPLSNetwork:
         )
 
     def _deliver(self, node_name: str, packet: IPv4Packet) -> None:
-        self.deliveries.append(Delivery(self.scheduler.now, node_name, packet))
+        delivery = Delivery(self.scheduler.now, node_name, packet)
+        self.deliveries.append(delivery)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.packets.labels(node_name, "delivered").inc()
+            tel.delivery_latency.labels(node_name).observe(delivery.latency)
         for prefix, sink in self._hosts.get(node_name, []):
             if sink is not None and prefix.contains(packet.dst):
                 sink(packet)

@@ -10,7 +10,7 @@ the paper's Figure 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 
 class TopologyError(Exception):

@@ -1,0 +1,85 @@
+"""Unified telemetry: metrics, structured events, cycle profiling.
+
+The observability layer of the reproduction, threaded through every
+other subsystem:
+
+* :mod:`repro.obs.metrics` -- the registry of counters, gauges and
+  fixed-bucket histograms;
+* :mod:`repro.obs.events` -- typed event records over pluggable sinks
+  (in-memory, JSONL, callback);
+* :mod:`repro.obs.profiling` -- cycle-level attribution of the RTL
+  simulation to FSM states, memory ports, and scoped operations;
+* :mod:`repro.obs.export` -- Prometheus text format and JSON snapshots;
+* :mod:`repro.obs.telemetry` -- the facade and the process-wide
+  default instance (disabled by default; hot paths pay one boolean
+  test).
+
+Quick use::
+
+    from repro.obs import telemetry_session, to_prometheus
+
+    with telemetry_session() as tel:
+        ...  # run a network, drive the RTL, converge LDP
+        print(to_prometheus(tel.registry))
+"""
+
+from repro.obs.events import (
+    CallbackSink,
+    Event,
+    EventLog,
+    FSMTransition,
+    InfoBaseProgrammed,
+    JSONLSink,
+    LabelMappingInstalled,
+    LabelOpApplied,
+    ListSink,
+    LSPEvent,
+    PacketDropped,
+    PacketForwarded,
+    SessionStateChange,
+)
+from repro.obs.export import snapshot, to_json, to_prometheus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.profiling import ConservationError, CycleProfiler
+from repro.obs.telemetry import (
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+
+__all__ = [
+    "CallbackSink",
+    "ConservationError",
+    "Counter",
+    "CycleProfiler",
+    "Event",
+    "EventLog",
+    "FSMTransition",
+    "Gauge",
+    "Histogram",
+    "InfoBaseProgrammed",
+    "JSONLSink",
+    "LabelMappingInstalled",
+    "LabelOpApplied",
+    "ListSink",
+    "LSPEvent",
+    "MetricFamily",
+    "MetricsRegistry",
+    "PacketDropped",
+    "PacketForwarded",
+    "SessionStateChange",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "snapshot",
+    "telemetry_session",
+    "to_json",
+    "to_prometheus",
+]

@@ -1,0 +1,226 @@
+"""The structured event log: typed records over pluggable sinks.
+
+Every notable state change in the reproduction -- a packet forwarded or
+dropped, a label operation applied, an LDP session coming up, a
+hardware FSM transition, an information base being (re)programmed --
+is emitted as a typed event record.  Producers call
+:meth:`EventLog.emit`; consumers attach sinks:
+
+* :class:`ListSink` -- in-memory, for tests and the tracer,
+* :class:`JSONLSink` -- one JSON object per line, the trace-file format
+  of ``python -m repro trace``,
+* :class:`CallbackSink` -- arbitrary function, used by
+  :class:`repro.analysis.tracer.NetworkTracer`.
+
+Events are stamped with the emitting layer's notion of time: the
+:class:`EventLog` holds a ``clock`` callable (the network simulator
+installs its event-scheduler clock); an event whose ``time`` is already
+set keeps it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Callable, ClassVar, Dict, List, Optional, TextIO, Tuple
+
+
+@dataclass
+class Event:
+    """Base record; concrete event types subclass and set ``kind``."""
+
+    kind: ClassVar[str] = "event"
+    #: Seconds on the emitting layer's clock (stamped by the log).
+    time: Optional[float] = field(default=None, init=False)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = asdict(self)
+        out["kind"] = self.kind
+        out["time"] = self.time
+        return out
+
+
+# -- data plane --------------------------------------------------------------
+@dataclass
+class PacketForwarded(Event):
+    """One packet processed by one node, leaving it alive."""
+
+    kind: ClassVar[str] = "packet-forwarded"
+    node: str = ""
+    uid: int = 0
+    flow_id: int = 0
+    #: "forward-mpls" / "forward-ip" / "deliver-local"
+    action: str = ""
+    labels_in: Tuple[int, ...] = ()
+    labels_out: Tuple[int, ...] = ()
+    ttl_in: int = 0
+    next_hop: Optional[str] = None
+
+
+@dataclass
+class PacketDropped(Event):
+    """One packet discarded, with the reason."""
+
+    kind: ClassVar[str] = "packet-dropped"
+    node: str = ""
+    uid: int = 0
+    flow_id: int = 0
+    reason: str = ""
+    labels_in: Tuple[int, ...] = ()
+    ttl_in: int = 0
+
+
+@dataclass
+class LabelOpApplied(Event):
+    """One elementary label-stack operation on the data plane."""
+
+    kind: ClassVar[str] = "label-op"
+    node: str = ""
+    op: str = ""  # push / pop / swap
+    label_in: Optional[int] = None
+    label_out: Optional[int] = None
+
+
+# -- control plane -----------------------------------------------------------
+@dataclass
+class SessionStateChange(Event):
+    """An LDP session transitioned (discovery, up, down)."""
+
+    kind: ClassVar[str] = "ldp-session"
+    node: str = ""
+    peer: str = ""
+    state: str = ""  # "up" / "down"
+
+
+@dataclass
+class LabelMappingInstalled(Event):
+    """A node installed forwarding state for a FEC (ordered control)."""
+
+    kind: ClassVar[str] = "label-mapping-installed"
+    node: str = ""
+    fec_id: str = ""
+    label: int = 0
+    next_hop: Optional[str] = None
+
+
+@dataclass
+class LSPEvent(Event):
+    """An RSVP-TE LSP lifecycle event (signalled, torn down, expired,
+    FRR switchover/revert)."""
+
+    kind: ClassVar[str] = "lsp"
+    name: str = ""
+    event: str = ""
+    detail: str = ""
+
+
+# -- embedded hardware -------------------------------------------------------
+@dataclass
+class FSMTransition(Event):
+    """A control-unit state machine changed state at a clock edge."""
+
+    kind: ClassVar[str] = "fsm-transition"
+    fsm: str = ""
+    src: str = ""
+    dst: str = ""
+    cycle: int = 0
+
+
+@dataclass
+class InfoBaseProgrammed(Event):
+    """The hardware information base was (re)programmed."""
+
+    kind: ClassVar[str] = "info-base-programmed"
+    node: str = ""
+    entries: int = 0
+    cycles: int = 0
+    reason: str = ""
+
+
+# -- sinks -------------------------------------------------------------------
+class ListSink:
+    """Accumulates events in order; ``events`` is the record."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def write(self, event: Event) -> None:
+        self.events.append(event)
+
+    def by_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class CallbackSink:
+    """Forwards every event to a function."""
+
+    def __init__(self, fn: Callable[[Event], None]) -> None:
+        self.fn = fn
+
+    def write(self, event: Event) -> None:
+        self.fn(event)
+
+
+class JSONLSink:
+    """Writes one JSON object per event line to a text stream."""
+
+    def __init__(self, stream: TextIO) -> None:
+        self.stream = stream
+        self.written = 0
+
+    def write(self, event: Event) -> None:
+        self.stream.write(json.dumps(event.as_dict(), sort_keys=True))
+        self.stream.write("\n")
+        self.written += 1
+
+    def flush(self) -> None:
+        self.stream.flush()
+
+
+class EventLog:
+    """Fans emitted events out to the attached sinks, in order."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        #: Stamp source for events without an explicit time.
+        self.clock = clock
+        self._sinks: List[Any] = []
+        self.emitted = 0
+
+    def add_sink(self, sink: Any) -> Any:
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Any) -> None:
+        self._sinks.remove(sink)
+
+    @property
+    def sinks(self) -> List[Any]:
+        return list(self._sinks)
+
+    def emit(self, event: Event) -> None:
+        if event.time is None and self.clock is not None:
+            event.time = self.clock()
+        self.emitted += 1
+        for sink in self._sinks:
+            sink.write(event)
+
+
+def event_kinds() -> List[str]:
+    """All registered event kinds (for documentation and the CLI)."""
+    kinds = []
+    for cls in Event.__subclasses__():
+        kinds.append(cls.kind)
+        # one level of nesting is enough for this module's hierarchy
+        for sub in cls.__subclasses__():
+            kinds.append(sub.kind)
+    return sorted(set(kinds))
+
+
+def field_names(cls) -> List[str]:
+    return [f.name for f in fields(cls)]

@@ -1,0 +1,177 @@
+"""The telemetry facade: one switch, one registry, one event log.
+
+Instrumented code across the data plane, control plane and hardware
+model all funnels through a :class:`Telemetry` object.  The contract
+that keeps the hot paths fast:
+
+* every instrumentation site is guarded by ``tel.enabled`` -- when
+  telemetry is off (the default), the entire layer costs one global
+  lookup and one boolean test per instrumented call;
+* metric families used on hot paths are pre-registered here once, so
+  enabling telemetry never pays registration in the packet loop.
+
+A process-wide default instance is reachable via :func:`get_telemetry`;
+tests and the CLI swap in fresh instances with :func:`set_telemetry` or
+the :func:`telemetry_session` context manager so runs never leak state
+into each other.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import (
+    DEFAULT_CYCLE_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+
+
+class Telemetry:
+    """A metrics registry and an event log behind one enable switch."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.registry = MetricsRegistry()
+        self.events = EventLog()
+        self._register_core_families()
+
+    # -- core metric families ----------------------------------------------
+    # Pre-registered so instrumented hot paths only pay .labels() child
+    # lookups, never family creation.
+    def _register_core_families(self) -> None:
+        r = self.registry
+        self.packets = r.counter(
+            "repro_packets_total",
+            "Packets processed per node by outcome action",
+            ("node", "action"),
+        )
+        self.drops = r.counter(
+            "repro_drops_total",
+            "Packets discarded per node by reason class",
+            ("node", "reason"),
+        )
+        self.mpls_ops = r.counter(
+            "repro_mpls_ops_total",
+            "Elementary data-plane operations (the OpCounts tally)",
+            ("node", "op"),
+        )
+        self.link_tx_packets = r.counter(
+            "repro_link_tx_packets_total",
+            "Packets transmitted per link direction",
+            ("src", "dst"),
+        )
+        self.link_tx_bytes = r.counter(
+            "repro_link_tx_bytes_total",
+            "Bytes transmitted per link direction",
+            ("src", "dst"),
+        )
+        self.link_drops = r.counter(
+            "repro_link_dropped_total",
+            "Packets lost per link direction by cause",
+            ("src", "dst", "cause"),
+        )
+        self.queue_depth = r.gauge(
+            "repro_link_queue_depth",
+            "Output queue occupancy per link direction",
+            ("src", "dst"),
+        )
+        self.delivery_latency = r.histogram(
+            "repro_delivery_latency_seconds",
+            "End-to-end latency of delivered packets",
+            ("node",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.ldp_messages = r.counter(
+            "repro_ldp_messages_total",
+            "LDP protocol messages sent, by type",
+            ("kind",),
+        )
+        self.ldp_sessions = r.gauge(
+            "repro_ldp_sessions_up",
+            "Established LDP sessions (each direction counted once)",
+        )
+        self.lsp_events = r.counter(
+            "repro_lsp_events_total",
+            "RSVP-TE LSP lifecycle events by type",
+            ("event",),
+        )
+        self.hw_cycles = r.counter(
+            "repro_hw_cycles_total",
+            "Simulated modifier clock cycles per node, data vs control",
+            ("node", "kind"),
+        )
+        self.hw_packet_cycles = r.histogram(
+            "repro_hw_packet_cycles",
+            "Modifier cycles spent per hardware-forwarded packet",
+            ("node",),
+            buckets=DEFAULT_CYCLE_BUCKETS,
+        )
+        self.info_base_writes = r.counter(
+            "repro_info_base_writes_total",
+            "Label pairs programmed into the hardware information base",
+            ("node",),
+        )
+        self.model_evals = r.counter(
+            "repro_model_evaluations_total",
+            "Analytic cost-model evaluations, by model",
+            ("model",),
+        )
+        self.pipeline_speedup = r.gauge(
+            "repro_pipeline_speedup",
+            "Modeled pipelined-vs-sequential speedup at a table size",
+            ("n_entries",),
+        )
+
+    # -- switch ------------------------------------------------------------
+    def enable(self) -> "Telemetry":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Telemetry":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Fresh registry and event log; the switch keeps its position."""
+        self.registry = MetricsRegistry()
+        self.events = EventLog()
+        self._register_core_families()
+
+
+#: The process-wide default, disabled until someone opts in.
+_default = Telemetry(enabled=False)
+
+
+def get_telemetry() -> Telemetry:
+    """The current default telemetry instance (cheap; hot paths call
+    this per packet, not per elementary operation)."""
+    return _default
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Swap the default instance; returns the previous one."""
+    global _default
+    previous = _default
+    _default = telemetry
+    return previous
+
+
+@contextmanager
+def telemetry_session(
+    enabled: bool = True, telemetry: Optional[Telemetry] = None
+) -> Iterator[Telemetry]:
+    """A fresh default :class:`Telemetry` for the duration of a block.
+
+    The previous default (and therefore its enabled/disabled state) is
+    restored on exit, so tests and CLI commands cannot leak metrics or
+    sinks into each other.
+    """
+    tel = telemetry if telemetry is not None else Telemetry(enabled=enabled)
+    previous = set_telemetry(tel)
+    try:
+        yield tel
+    finally:
+        set_telemetry(previous)

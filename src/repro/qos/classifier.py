@@ -9,7 +9,7 @@ the data plane can see (addresses, DSCP, protocol).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Union
+from typing import List, Optional, Union
 
 from repro.mpls.forwarding import _dscp_to_cos
 from repro.net.addressing import IPv4Prefix

@@ -16,7 +16,7 @@ cos)`` / ``dequeue()`` / ``__len__``) so a
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional
 
 
 class PriorityScheduler:

@@ -8,7 +8,7 @@ from repro.mpls.fec import PrefixFEC
 from repro.mpls.router import LSRNode, RouterRole
 from repro.net.network import MPLSNetwork
 from repro.net.packet import IPv4Packet
-from repro.net.topology import Topology, line, paper_figure1
+from repro.net.topology import line, paper_figure1
 from repro.net.traffic import CBRSource
 
 

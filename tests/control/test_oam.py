@@ -1,6 +1,5 @@
 """Tests for LSP ping and traceroute."""
 
-import pytest
 
 from repro.control.ldp import LDPProcess
 from repro.control.oam import lsp_ping, lsp_traceroute

@@ -8,7 +8,7 @@ from repro.control.rsvp_te import RSVPTESignaler, SignalingError
 from repro.mpls.fec import PrefixFEC
 from repro.mpls.label import IMPLICIT_NULL, LabelOp
 from repro.mpls.router import LSRNode, RouterRole
-from repro.net.topology import line, paper_figure1
+from repro.net.topology import paper_figure1
 
 
 def _env(topo=None):

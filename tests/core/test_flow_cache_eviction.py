@@ -1,7 +1,6 @@
 """Tests for level-1 flow-cache capacity management (LRU eviction via
 the hardware remove path)."""
 
-import pytest
 
 from repro.core.hwnode import HardwareLSRNode
 from repro.mpls.fec import PrefixFEC

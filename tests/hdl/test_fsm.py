@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hdl.fsm import FSM, State
+from repro.hdl.fsm import FSM
 from repro.hdl.simulator import Simulator
 
 

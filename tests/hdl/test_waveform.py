@@ -2,7 +2,6 @@
 
 import os
 
-import pytest
 
 from repro.hdl.simulator import Component, Simulator
 from repro.hdl.waveform import WaveformRecorder, dump_vcd, render_ascii

@@ -1,6 +1,5 @@
 """Tests for the CAM-based information base alternative."""
 
-import pytest
 
 from repro.core.device import STRATIX_EP1S40
 from repro.hdl.simulator import Component, Simulator

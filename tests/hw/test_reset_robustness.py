@@ -6,7 +6,6 @@ modifier must come back to a clean idle state and service subsequent
 operations correctly.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ implementations must agree on results, side effects *and* cycle
 counts.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -11,7 +11,6 @@ bytes at every hop.
 import pytest
 
 from repro.core.architecture import EmbeddedMPLS
-from repro.core.packet_processing import IngressPacketProcessor
 from repro.mpls.label import LabelOp
 from repro.mpls.router import RouterRole
 from repro.net.atm import reassemble_aal5, segment_aal5

@@ -4,7 +4,6 @@ Failure injection, re-signalling, QoS under congestion, and tunnel
 hierarchies -- each exercising several subpackages together.
 """
 
-import pytest
 
 from repro.control.ldp import LDPProcess
 from repro.control.rsvp_te import RSVPTESignaler

@@ -4,7 +4,6 @@ toy topologies."""
 
 import random
 
-import pytest
 
 from repro.control.ldp import LDPProcess
 from repro.mpls.fec import PrefixFEC

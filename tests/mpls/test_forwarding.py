@@ -1,6 +1,5 @@
 """Tests for the software label-switching engine."""
 
-import pytest
 
 from repro.mpls.fec import PrefixFEC
 from repro.mpls.forwarding import Action, ForwardingEngine

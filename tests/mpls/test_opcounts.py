@@ -1,0 +1,49 @@
+"""Tests for the OpCounts compatibility shim: repr/summary, the
+registry mapping, and publish()."""
+
+from repro.mpls.forwarding import OpCounts
+from repro.obs import Telemetry
+
+
+class TestSummary:
+    def test_summary_lists_nonzero_fields_only(self):
+        counts = OpCounts(ilm_lookups=2, swaps=2, ttl_updates=2)
+        text = counts.summary()
+        assert text == "OpCounts(ilm-lookup=2 swap=2 ttl-update=2)"
+
+    def test_all_zero_summary(self):
+        assert OpCounts().summary() == "OpCounts(all zero)"
+
+    def test_repr_is_summary(self):
+        counts = OpCounts(pushes=1)
+        assert repr(counts) == counts.summary()
+        assert "push=1" in repr(counts)
+
+    def test_total(self):
+        counts = OpCounts(ftn_lookups=1, pushes=1, ttl_updates=1)
+        assert counts.total == 3
+
+    def test_as_dict_covers_every_field(self):
+        counts = OpCounts()
+        assert set(counts.as_dict()) == set(counts.REGISTRY_OPS)
+
+
+class TestPublish:
+    def test_publish_writes_registry_counters(self):
+        tel = Telemetry(enabled=True)
+        counts = OpCounts(ilm_lookups=4, swaps=3, discards=1)
+        counts.publish(tel, node="lsr-9")
+        assert tel.registry.value(
+            "repro_mpls_ops_total", node="lsr-9", op="ilm-lookup"
+        ) == 4
+        assert tel.registry.value(
+            "repro_mpls_ops_total", node="lsr-9", op="swap"
+        ) == 3
+        assert tel.registry.value(
+            "repro_mpls_ops_total", node="lsr-9", op="discard"
+        ) == 1
+
+    def test_publish_skips_zero_fields(self):
+        tel = Telemetry(enabled=True)
+        OpCounts().publish(tel, node="lsr-9")
+        assert len(tel.registry.get("repro_mpls_ops_total")) == 0

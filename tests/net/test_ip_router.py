@@ -1,6 +1,5 @@
 """Tests for the plain-IP baseline router."""
 
-import pytest
 
 from repro.mpls.forwarding import Action
 from repro.mpls.label import LabelEntry

@@ -1,0 +1,131 @@
+"""Tests for the structured event log: typed records and sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.events import (
+    CallbackSink,
+    EventLog,
+    JSONLSink,
+    LabelOpApplied,
+    ListSink,
+    PacketDropped,
+    PacketForwarded,
+)
+
+
+def _packet_event(uid=1):
+    return PacketForwarded(
+        node="ler-a",
+        uid=uid,
+        flow_id=7,
+        action="forward-mpls",
+        labels_in=(),
+        labels_out=(16,),
+        ttl_in=64,
+        next_hop="lsr-1",
+    )
+
+
+class TestEventLog:
+    def test_sinks_receive_events_in_emit_order(self):
+        log = EventLog()
+        first, second = ListSink(), ListSink()
+        log.add_sink(first)
+        log.add_sink(second)
+        events = [_packet_event(uid=i) for i in range(5)]
+        for e in events:
+            log.emit(e)
+        assert first.events == events
+        assert second.events == events
+        assert [e.uid for e in first.events] == [0, 1, 2, 3, 4]
+        assert log.emitted == 5
+
+    def test_sink_fanout_order_is_attachment_order(self):
+        log = EventLog()
+        seen = []
+        log.add_sink(CallbackSink(lambda e: seen.append("a")))
+        log.add_sink(CallbackSink(lambda e: seen.append("b")))
+        log.emit(_packet_event())
+        assert seen == ["a", "b"]
+
+    def test_removed_sink_stops_receiving(self):
+        log = EventLog()
+        sink = log.add_sink(ListSink())
+        log.emit(_packet_event())
+        log.remove_sink(sink)
+        log.emit(_packet_event())
+        assert len(sink) == 1
+
+    def test_clock_stamps_time(self):
+        now = [0.25]
+        log = EventLog(clock=lambda: now[0])
+        sink = log.add_sink(ListSink())
+        log.emit(_packet_event())
+        now[0] = 0.75
+        log.emit(_packet_event())
+        assert [e.time for e in sink.events] == [0.25, 0.75]
+
+    def test_preset_time_is_kept(self):
+        log = EventLog(clock=lambda: 99.0)
+        sink = log.add_sink(ListSink())
+        event = _packet_event()
+        event.time = 1.5
+        log.emit(event)
+        assert sink.events[0].time == 1.5
+
+    def test_by_kind_filters(self):
+        log = EventLog()
+        sink = log.add_sink(ListSink())
+        log.emit(_packet_event())
+        log.emit(PacketDropped(node="lsr-1", uid=2, flow_id=7,
+                               reason="no ILM entry"))
+        log.emit(LabelOpApplied(node="lsr-1", op="swap",
+                                label_in=16, label_out=17))
+        assert len(sink.by_kind("packet-forwarded")) == 1
+        assert len(sink.by_kind("packet-dropped")) == 1
+        assert len(sink.by_kind("label-op")) == 1
+
+
+class TestRecords:
+    def test_as_dict_includes_kind_and_time(self):
+        event = _packet_event()
+        event.time = 0.5
+        d = event.as_dict()
+        assert d["kind"] == "packet-forwarded"
+        assert d["time"] == 0.5
+        assert d["node"] == "ler-a"
+        assert d["next_hop"] == "lsr-1"
+
+    def test_time_is_not_a_constructor_argument(self):
+        with pytest.raises(TypeError):
+            PacketForwarded(node="x", time=1.0)
+
+
+class TestJSONLSink:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        log = EventLog(clock=lambda: 0.125)
+        log.add_sink(JSONLSink(stream))
+        log.emit(_packet_event(uid=1))
+        log.emit(PacketDropped(node="lsr-1", uid=2, flow_id=7, reason="ttl"))
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "packet-forwarded"
+        assert first["uid"] == 1
+        assert first["time"] == 0.125
+        second = json.loads(lines[1])
+        assert second["kind"] == "packet-dropped"
+        assert second["reason"] == "ttl"
+
+    def test_keys_sorted_for_stable_diffs(self):
+        stream = io.StringIO()
+        log = EventLog()
+        log.add_sink(JSONLSink(stream))
+        log.emit(_packet_event())
+        line = stream.getvalue().strip()
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)

@@ -1,0 +1,75 @@
+"""Exporter tests: the golden Prometheus exposition and JSON snapshots."""
+
+import json
+from pathlib import Path
+
+from repro.obs.export import snapshot, to_json, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden_prometheus.txt"
+
+
+def _demo_registry() -> MetricsRegistry:
+    """A small, fully deterministic registry exercising every metric
+    kind, multi-label children, escaping, and histogram buckets."""
+    reg = MetricsRegistry()
+    packets = reg.counter(
+        "demo_packets_total", "Packets processed", ("node", "action")
+    )
+    packets.labels("ler-a", "forward-mpls").inc(3)
+    packets.labels("ler-b", "forward-ip").inc()
+    drops = reg.counter("demo_drops_total", "Drops by reason", ("reason",))
+    drops.labels('label "16" missing\nat lsr-1').inc(2)
+    depth = reg.gauge("demo_queue_depth", "Queue occupancy", ("link",))
+    depth.labels("a->b").set(2.5)
+    latency = reg.histogram(
+        "demo_latency_seconds",
+        "End-to-end latency",
+        buckets=(0.1, 1.0),
+    )
+    for v in (0.05, 0.5, 5.0):
+        latency.observe(v)
+    return reg
+
+
+class TestPrometheus:
+    def test_matches_golden_file(self):
+        assert to_prometheus(_demo_registry()) == GOLDEN.read_text()
+
+    def test_deterministic(self):
+        assert to_prometheus(_demo_registry()) == to_prometheus(
+            _demo_registry()
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_unused_family_omitted(self):
+        reg = MetricsRegistry()
+        reg.counter("unused_total", "never incremented", ("n",))
+        assert to_prometheus(reg) == ""
+
+    def test_integer_values_have_no_decimal_point(self):
+        reg = MetricsRegistry()
+        reg.counter("n_total", "n").inc(7)
+        assert "n_total 7\n" in to_prometheus(reg)
+
+
+class TestJSON:
+    def test_snapshot_shape(self):
+        snap = snapshot(_demo_registry())
+        assert snap["demo_packets_total"]["type"] == "counter"
+        samples = snap["demo_packets_total"]["samples"]
+        assert {
+            "labels": {"node": "ler-a", "action": "forward-mpls"},
+            "value": 3.0,
+        } in samples
+        hist = snap["demo_latency_seconds"]["samples"][0]["value"]
+        assert hist["buckets"] == [0.1, 1.0]
+        assert hist["counts"] == [1, 1, 1]
+        assert hist["count"] == 3
+
+    def test_to_json_round_trips(self):
+        parsed = json.loads(to_json(_demo_registry()))
+        assert parsed == json.loads(to_json(_demo_registry()))
+        assert parsed["demo_queue_depth"]["samples"][0]["value"] == 2.5

@@ -1,0 +1,133 @@
+"""Tests for the metrics registry: families, labels, histograms."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram(buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 1.0, 3.0, 7.0, 100.0):
+            h.observe(v)
+        # per-bucket: <=1: {0.5, 1.0}, <=5: {3.0}, <=10: {7.0}, +Inf: {100}
+        assert h.bucket_counts == [2, 1, 1, 1]
+        assert h.cumulative_counts() == [2, 3, 4, 5]
+        assert h.count == 5
+        assert h.sum == pytest.approx(111.5)
+
+    def test_cumulative_ends_at_count(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.1)
+        h.observe(99.0)
+        assert h.cumulative_counts()[-1] == h.count == 2
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(5.0, 1.0))
+
+    def test_inf_bound_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, float("inf")))
+
+    def test_needs_a_bound(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestFamiliesAndLabels:
+    def test_children_per_label_tuple(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("x_total", "x", ("node", "op"))
+        fam.labels("a", "push").inc()
+        fam.labels("a", "push").inc()
+        fam.labels("b", "pop").inc()
+        assert reg.value("x_total", node="a", op="push") == 2
+        assert reg.value("x_total", node="b", op="pop") == 1
+        assert len(fam) == 2
+
+    def test_keyword_labels_match_positional(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("x_total", "x", ("node", "op"))
+        fam.labels("a", "push").inc()
+        fam.labels(op="push", node="a").inc()
+        assert reg.value("x_total", node="a", op="push") == 2
+
+    def test_label_values_coerced_to_str(self):
+        reg = MetricsRegistry()
+        fam = reg.gauge("depth", "d", ("n",))
+        fam.labels(1024).set(3)
+        assert reg.value("depth", n="1024") == 3
+
+    def test_wrong_label_count_rejected(self):
+        fam = MetricsRegistry().counter("x_total", "x", ("a", "b"))
+        with pytest.raises(ValueError):
+            fam.labels("only-one")
+
+    def test_unknown_keyword_rejected(self):
+        fam = MetricsRegistry().counter("x_total", "x", ("a",))
+        with pytest.raises(ValueError):
+            fam.labels(a="1", nope="2")
+
+    def test_unlabelled_family_acts_as_child(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("events_total", "e")
+        fam.inc(4)
+        assert reg.value("events_total") == 4
+
+    def test_labelled_family_refuses_solo_use(self):
+        fam = MetricsRegistry().counter("x_total", "x", ("a",))
+        with pytest.raises(ValueError):
+            fam.inc()
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "x", ("n",))
+        b = reg.counter("x_total", "x", ("n",))
+        assert a is b
+
+    def test_schema_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x", ("n",))
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", "x", ("n",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", "x", ("n", "m"))
+
+    def test_collect_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zzz_total", "z")
+        reg.counter("aaa_total", "a")
+        assert [f.name for f in reg.collect()] == ["aaa_total", "zzz_total"]
+
+    def test_reset_clears_values(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x").inc()
+        reg.reset()
+        assert reg.value("x_total") == 0

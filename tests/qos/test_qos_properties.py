@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.qos.policer import PolicerAction, TokenBucket
+from repro.qos.policer import TokenBucket
 from repro.qos.queues import REDQueue, TailDropQueue
 from repro.qos.scheduler import PriorityScheduler, WFQScheduler
 
