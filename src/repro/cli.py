@@ -285,6 +285,59 @@ def cmd_trace(output: Optional[str] = None) -> int:
     return 0
 
 
+def cmd_chaos(
+    scenario_path: Optional[str],
+    seed: int = 0,
+    output: Optional[str] = None,
+) -> int:
+    """Run a fault-injection scenario file and print its report.
+
+    Stdout carries exactly the JSON report (the CI smoke step compares
+    two runs byte-for-byte); diagnostics go to stderr.
+    """
+    from repro.faults import Scenario, ScenarioError, run_scenario
+    from repro.obs import telemetry_session
+
+    if scenario_path is None:
+        print("error: chaos needs a scenario file "
+              "(e.g. examples/chaos_smoke.json)", file=sys.stderr)
+        return 1
+    try:
+        scenario = Scenario.load(scenario_path)
+    except OSError as exc:
+        print(f"error: cannot read {scenario_path}: {exc}", file=sys.stderr)
+        return 1
+    except ScenarioError as exc:
+        print(f"error: bad scenario: {exc}", file=sys.stderr)
+        return 1
+    try:
+        with telemetry_session():
+            report = run_scenario(scenario, seed=seed)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    text = report.to_json()
+    if output:
+        try:
+            with open(output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print(f"error: cannot write {output}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        sys.stdout.write(text)
+    traffic = report["traffic"]
+    availability = traffic["availability"]
+    print(
+        f"chaos: {scenario.name!r} seed={seed}: "
+        f"{len(report['faults'])} faults, "
+        f"availability {availability if availability is not None else 'n/a'}"
+        + (f" -> {output}" if output else ""),
+        file=sys.stderr,
+    )
+    return 0
+
+
 COMMANDS: Dict[str, Callable[[], int]] = {
     "table6": cmd_table6,
     "worst-case": cmd_worst_case,
@@ -302,22 +355,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=[*COMMANDS, "all", "stats", "trace"],
+        choices=[*COMMANDS, "all", "stats", "trace", "chaos"],
         help="which result to regenerate (or: stats / trace for the "
-        "telemetry views)",
+        "telemetry views, chaos to run a fault scenario)",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="chaos only: path to a JSON fault scenario "
+        "(see examples/chaos_*.json)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="chaos only: seed for the randomized schedule and fault "
+        "randomness (default 0)",
     )
     parser.add_argument(
         "-o", "--output",
         metavar="FILE",
         default=None,
-        help="trace only: write the JSONL event stream to FILE "
-        "instead of stdout",
+        help="trace/chaos: write the JSONL event stream / JSON report "
+        "to FILE instead of stdout",
     )
     args = parser.parse_args(argv)
     if args.command == "stats":
         return cmd_stats()
     if args.command == "trace":
         return cmd_trace(args.output)
+    if args.command == "chaos":
+        return cmd_chaos(args.scenario, seed=args.seed, output=args.output)
     if args.command == "all":
         worst = 0
         for name, fn in COMMANDS.items():

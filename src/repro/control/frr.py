@@ -159,6 +159,21 @@ class FastRerouteManager:
             )
         return repaired
 
+    def handle_link_recovery(self, a: str, b: str) -> List[str]:
+        """A failed link came back: forget it and revert every
+        protected FEC that is riding its backup while its primary is
+        fully healthy again.  Returns the reverted names."""
+        self.failed_links -= {(a, b), (b, a)}
+        reverted = []
+        for protected in self.protected.values():
+            if protected.active != "backup":
+                continue
+            if set(protected.primary.links()) & self.failed_links:
+                continue  # the primary still crosses a dead link
+            self.revert(protected.name)
+            reverted.append(protected.name)
+        return reverted
+
     def revert(self, name: str) -> None:
         """Switch a protected FEC back onto its primary."""
         protected = self.protected[name]

@@ -18,7 +18,7 @@ functionality would program into the hardware information base.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.control.labels import LabelAllocator
 from repro.control.routing import LinkStateDatabase
@@ -64,6 +64,9 @@ class LDPProcess:
             name: LabelAllocator() for name in nodes
         }
         self.bindings: List[FECBinding] = []
+        #: crashed routers: no state is installed at (or via) them until
+        #: they restart and a :meth:`reconverge` reprograms the network
+        self.down_nodes: Set[str] = set()
 
     def establish_fec(
         self,
@@ -80,9 +83,10 @@ class LDPProcess:
         if egress not in self.nodes:
             raise KeyError(f"unknown egress {egress!r}")
         binding = FECBinding(fec=fec, egress=egress, php=php)
+        live = [n for n in self.nodes if n not in self.down_nodes]
 
         # 1. label allocation (downstream unsolicited advertisement)
-        for name in self.nodes:
+        for name in live:
             if name == egress:
                 binding.labels[name] = (
                     IMPLICIT_NULL if php else self.allocators[name].allocate()
@@ -90,17 +94,20 @@ class LDPProcess:
             else:
                 binding.labels[name] = self.allocators[name].allocate()
 
-        # 2. next hops from each node's SPF towards the egress
-        for name in self.nodes:
-            if name == egress:
-                continue
-            spf = self.lsdb.spf(name)
-            nh = spf.next_hop(egress)
-            if nh is not None:
-                binding.next_hops[name] = nh
+        # 2. next hops from each node's SPF towards the egress (a
+        #    crashed node's links are already out of the topology, so
+        #    SPF routes around it; a crashed egress yields no paths)
+        if egress in live:
+            for name in live:
+                if name == egress:
+                    continue
+                spf = self.lsdb.spf(name)
+                nh = spf.next_hop(egress)
+                if nh is not None and nh in binding.labels:
+                    binding.next_hops[name] = nh
 
         # 3. install forwarding state
-        if not php:
+        if not php and egress in binding.labels:
             self.nodes[egress].ilm.install(
                 binding.labels[egress], NHLFE(op=LabelOp.POP)
             )
@@ -120,7 +127,9 @@ class LDPProcess:
             else [
                 name
                 for name, node in self.nodes.items()
-                if node.is_edge and name != egress
+                if node.is_edge
+                and name != egress
+                and name not in self.down_nodes
             ]
         )
         for name in targets:
@@ -158,10 +167,12 @@ class LDPProcess:
         """Remove all forwarding state and release the labels."""
         if binding not in self.bindings:
             raise KeyError("binding not established by this process")
-        if not binding.php:
-            self.nodes[binding.egress].ilm.remove(
-                binding.labels[binding.egress]
-            )
+        egress_label = binding.labels.get(binding.egress)
+        if not binding.php and egress_label is not None:
+            # the entry may already be gone if the egress crashed and
+            # restarted cold -- withdrawal must stay idempotent
+            if egress_label in self.nodes[binding.egress].ilm:
+                self.nodes[binding.egress].ilm.remove(egress_label)
         for name in binding.next_hops:
             node = self.nodes[name]
             if binding.labels[name] in node.ilm:

@@ -193,34 +193,40 @@ class LDPSpeaker:
         next_hop = self._next_hop_to_egress(state.egress)
         if next_hop != msg.src:
             return  # liberal retention: keep the binding, do not use it
-        # ordered control: install, then propagate upstream
+        self._install_from(fec_id, msg.src, msg.label)
+
+    def _install_from(self, fec_id: str, peer: str, label_in: int) -> None:
+        """Ordered control: install forwarding state via ``peer`` (its
+        advertised label is ``label_in``), then propagate upstream."""
+        state = self.process.fecs[fec_id]
         label = self.allocator.allocate()
         self.local_labels[fec_id] = label
         self.node.ilm.install(
             label,
-            NHLFE(op=LabelOp.SWAP, out_label=msg.label, next_hop=next_hop),
+            NHLFE(op=LabelOp.SWAP, out_label=label_in, next_hop=peer),
         )
         if self.node.is_edge:
             self.node.ftn.install(
                 state.fec,
-                NHLFE(
-                    op=LabelOp.PUSH, out_label=msg.label, next_hop=next_hop
-                ),
+                NHLFE(op=LabelOp.PUSH, out_label=label_in, next_hop=peer),
             )
         state.advertised[self.name] = label
         state.installed_at[self.name] = self.process.scheduler.now
-        self._note_install(fec_id, label, next_hop=next_hop)
+        self._note_install(fec_id, label, next_hop=peer)
         self._advertise(fec_id)
 
-    def _on_withdraw(self, msg: LDPMessage) -> None:
-        fec_id = msg.fec_id
+    def _withdraw_local(
+        self, fec_id: str, exclude: Optional[str] = None
+    ) -> bool:
+        """Tear down our forwarding state for a FEC and tell every
+        session peer except ``exclude``.  Returns True if state was
+        actually removed."""
         state = self.process.fecs.get(fec_id)
         if state is None:
-            return
-        self.bindings.get(fec_id, {}).pop(msg.src, None)
+            return False
         label = self.local_labels.pop(fec_id, None)
         if label is None:
-            return
+            return False
         if label in self.node.ilm:
             self.node.ilm.remove(label)
         try:
@@ -228,9 +234,10 @@ class LDPSpeaker:
         except KeyError:
             pass
         self.allocator.release(label)
+        state.advertised.pop(self.name, None)
         state.installed_at.pop(self.name, None)
         for peer in sorted(self.sessions):
-            if peer != msg.src:
+            if peer != exclude:
                 self.process.send(
                     LDPMessage(
                         MsgType.LABEL_WITHDRAW,
@@ -239,6 +246,74 @@ class LDPSpeaker:
                         fec_id=fec_id,
                     )
                 )
+        return True
+
+    def _reinstall_from_retained(self, fec_id: str) -> None:
+        """After losing the state we had via a failed peer, fall back
+        to a liberally retained binding from the *current* SPF next hop
+        (if a session to it is up) -- the recovery path that makes
+        liberal retention worth its memory."""
+        state = self.process.fecs.get(fec_id)
+        if state is None or state.withdrawn:
+            return
+        if self.name == state.egress or fec_id in self.local_labels:
+            return
+        next_hop = self._next_hop_to_egress(state.egress)
+        if next_hop is None or next_hop not in self.sessions:
+            return
+        label_in = self.bindings.get(fec_id, {}).get(next_hop)
+        if label_in is None:
+            return
+        self._install_from(fec_id, next_hop, label_in)
+
+    def _on_withdraw(self, msg: LDPMessage) -> None:
+        fec_id = msg.fec_id
+        state = self.process.fecs.get(fec_id)
+        if state is None:
+            return
+        self.bindings.get(fec_id, {}).pop(msg.src, None)
+        if self.name == state.egress:
+            return  # an egress's origination depends on nobody
+        label = self.local_labels.get(fec_id)
+        if label is None:
+            return
+        nhlfe = self.node.ilm.get(label)
+        if nhlfe is None or nhlfe.next_hop != msg.src:
+            # our installed path does not go through the withdrawing
+            # peer; dropping the retained binding is all that's needed
+            # (propagating further would tear down healthy state and
+            # cascade the withdrawal around the whole network)
+            return
+        if self._withdraw_local(fec_id, exclude=msg.src):
+            # the downstream path died; try any retained alternative
+            self._reinstall_from_retained(fec_id)
+
+    # -- session failure ------------------------------------------------------
+    def session_lost(self, peer: str) -> None:
+        """The session to ``peer`` dropped: purge every binding learned
+        from it and withdraw any mapping of ours that was installed via
+        it.  Without the withdrawal, upstream routers keep forwarding
+        into a black hole -- the stale-mapping bug this method fixes.
+        """
+        if peer not in self.sessions:
+            return
+        self.sessions.discard(peer)
+        # forget discovery state too, so reconnection re-runs the full
+        # HELLO -> INIT -> KEEPALIVE handshake
+        self.heard.discard(peer)
+        affected: List[str] = []
+        for fec_id, label in list(self.local_labels.items()):
+            state = self.process.fecs.get(fec_id)
+            if state is None or self.name == state.egress:
+                continue
+            nhlfe = self.node.ilm.get(label)
+            if nhlfe is not None and nhlfe.next_hop == peer:
+                affected.append(fec_id)
+        for fec_id in list(self.bindings):
+            self.bindings[fec_id].pop(peer, None)
+        for fec_id in affected:
+            self._withdraw_local(fec_id)
+            self._reinstall_from_retained(fec_id)
 
 
 class MessageLDPProcess:
@@ -250,6 +325,9 @@ class MessageLDPProcess:
         nodes: Dict[str, LSRNode],
         scheduler: EventScheduler,
         processing_delay: float = 50e-6,
+        retry_initial: float = 50e-3,
+        retry_max: float = 2.0,
+        max_retries: int = 20,
     ) -> None:
         self.topology = topology
         self.scheduler = scheduler
@@ -262,6 +340,17 @@ class MessageLDPProcess:
         self.message_counts: Dict[MsgType, int] = {k: 0 for k in MsgType}
         self.sessions_established: List[Tuple[float, str, str]] = []
         self._started = False
+        # -- session-recovery policy (exponential backoff) ------------------
+        self.retry_initial = retry_initial
+        self.retry_max = retry_max
+        self.max_retries = max_retries
+        #: (a, b) sorted pair -> {"attempt": n, "down_at": t}
+        self._reconnecting: Dict[Tuple[str, str], Dict[str, float]] = {}
+        self.sessions_lost: List[Tuple[float, str, str]] = []
+        #: (recovered_at, a, b, downtime_seconds)
+        self.sessions_recovered: List[Tuple[float, str, str, float]] = []
+        self.reconnect_attempts = 0
+        self.reconnects_abandoned = 0
 
     # -- transport ---------------------------------------------------------
     def send(self, msg: LDPMessage) -> None:
@@ -287,6 +376,86 @@ class MessageLDPProcess:
             event = SessionStateChange(node=a, peer=b, state="up")
             event.time = self.scheduler.now
             tel.events.emit(event)
+        # a pending reconnection has succeeded once both directions are up
+        key = self._pair(a, b)
+        pending = self._reconnecting.get(key)
+        if (
+            pending is not None
+            and b in self.speakers[a].sessions
+            and a in self.speakers[b].sessions
+        ):
+            del self._reconnecting[key]
+            downtime = self.scheduler.now - pending["down_at"]
+            self.sessions_recovered.append(
+                (self.scheduler.now, key[0], key[1], downtime)
+            )
+            if tel.enabled:
+                tel.fault_recovery.labels("ldp-session").observe(downtime)
+
+    @staticmethod
+    def _pair(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    # -- session failure and recovery ---------------------------------------
+    def drop_session(self, a: str, b: str, reason: str = "injected") -> None:
+        """Tear down the LDP session between ``a`` and ``b``.
+
+        Both speakers purge the bindings they learned over the session
+        and withdraw any mapping that depended on it (re-installing
+        from liberally retained bindings when an alternative next hop
+        exists).  Reconnection attempts then run with exponential
+        backoff until the session re-forms or ``max_retries`` is
+        exhausted -- while the underlying adjacency is gone, attempts
+        keep backing off, so a healed link is re-discovered.
+        """
+        was_up = (
+            b in self.speakers[a].sessions or a in self.speakers[b].sessions
+        )
+        tel = get_telemetry()
+        for x, y in ((a, b), (b, a)):
+            if y in self.speakers[x].sessions:
+                self.speakers[x].session_lost(y)
+                if tel.enabled:
+                    event = SessionStateChange(node=x, peer=y, state="down")
+                    event.time = self.scheduler.now
+                    tel.events.emit(event)
+        if not was_up:
+            return
+        self.sessions_lost.append((self.scheduler.now, a, b))
+        if tel.enabled:
+            tel.ldp_sessions.dec()
+        key = self._pair(a, b)
+        self._reconnecting[key] = {
+            "attempt": 0.0,
+            "down_at": self.scheduler.now,
+        }
+        self.scheduler.after(
+            self.retry_initial, lambda: self._try_reconnect(key)
+        )
+
+    def _try_reconnect(self, key: Tuple[str, str]) -> None:
+        pending = self._reconnecting.get(key)
+        if pending is None:
+            return  # recovered (or abandoned) in the meantime
+        a, b = key
+        attempt = int(pending["attempt"]) + 1
+        pending["attempt"] = float(attempt)
+        if attempt > self.max_retries:
+            del self._reconnecting[key]
+            self.reconnects_abandoned += 1
+            return
+        self.reconnect_attempts += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.ldp_retries.labels(a, b).inc()
+        if self.topology.has_link(a, b):
+            # re-run discovery: fresh HELLOs re-arm the INIT exchange
+            self.send(LDPMessage(MsgType.HELLO, a, b))
+            self.send(LDPMessage(MsgType.HELLO, b, a))
+        delay = min(
+            self.retry_initial * (2.0 ** attempt), self.retry_max
+        )
+        self.scheduler.after(delay, lambda: self._try_reconnect(key))
 
     # -- operations --------------------------------------------------------
     def start(self) -> None:

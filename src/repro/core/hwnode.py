@@ -38,7 +38,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Union
 
-from repro.hw.model import FunctionalModifier
+from repro.hw.model import FunctionalModifier, ScrubReport
 from repro.mpls.forwarding import (
     Action,
     ForwardingDecision,
@@ -48,7 +48,7 @@ from repro.mpls.label import LabelOp
 from repro.mpls.router import LSRNode, RouterRole
 from repro.mpls.stack import LabelStack
 from repro.net.packet import IPv4Packet, MPLSPacket
-from repro.obs.events import InfoBaseProgrammed
+from repro.obs.events import InfoBaseProgrammed, InfoBaseScrubbed
 from repro.obs.telemetry import get_telemetry
 
 
@@ -120,6 +120,61 @@ class HardwareLSRNode(LSRNode):
                     reason=f"ilm generation {self.ilm.generation}",
                 )
             )
+
+    def _expected_pairs(self, level: int):
+        """The shadow of what ``level`` should hold: the mirrored ILM
+        entries (same traversal as :meth:`_sync_info_base`) plus, at
+        level 1, the learned flow-cache pairs."""
+        pairs = []
+        for label, nhlfe in self.ilm:
+            op = nhlfe.op
+            if op is LabelOp.POP:
+                pairs.append((label, 16, int(LabelOp.POP)))
+            elif op in (LabelOp.SWAP, LabelOp.PUSH):
+                pairs.append((label, nhlfe.out_label, int(op)))
+        if level == 1:
+            pairs.extend(
+                (dst, cached, int(LabelOp.PUSH))
+                for dst, cached in self._flow_cache.items()
+            )
+        return pairs
+
+    def scrub_info_base(self) -> "list[ScrubReport]":
+        """Run a VERIFY_INFO-style scrub over all three levels.
+
+        Each level is read back through the management port and
+        compared against the node's shadow (ILM mirror + flow cache);
+        corrupted pairs are repaired in place.  Much cheaper than the
+        full reset-and-reprogram of :meth:`_sync_info_base` when only a
+        few pairs were hit, and the cycles are charged to the control
+        plane either way.
+        """
+        self._sync_info_base()  # never scrub against a stale mirror
+        reports = []
+        cycles = 0
+        for level in (1, 2, 3):
+            report = self.modifier.scrub(
+                level, self._expected_pairs(level)
+            )
+            reports.append(report)
+            cycles += report.cycles
+        self.hw_control_cycles += cycles
+        tel = get_telemetry()
+        if tel.enabled:
+            repaired = sum(r.repaired for r in reports)
+            if repaired:
+                tel.scrub_repairs.labels(self.name).inc(repaired)
+            tel.hw_cycles.labels(self.name, "control").inc(cycles)
+            tel.events.emit(
+                InfoBaseScrubbed(
+                    node=self.name,
+                    checked=sum(r.checked for r in reports),
+                    corrupted=sum(r.corrupted for r in reports),
+                    repaired=repaired,
+                    cycles=cycles,
+                )
+            )
+        return reports
 
     # -- the hardware data path ---------------------------------------------
     def receive(

@@ -1,0 +1,48 @@
+"""Deterministic fault injection (the chaos subsystem).
+
+Declarative :class:`~repro.faults.scenario.Scenario` documents schedule
+faults across every layer of the reproduction -- link failures and
+flaps, packet loss and label corruption, node crash/restart, LDP
+session resets, and information-base bit flips -- and a
+:class:`~repro.faults.injector.FaultInjector` executes them against a
+running :class:`~repro.net.network.MPLSNetwork`, coordinating FRR
+switchover, LDP reconvergence/reconnection, and hardware scrubbing
+after a configurable detection delay.  :func:`~repro.faults.chaos.run_scenario`
+wraps the whole lifecycle into one byte-deterministic report.
+"""
+
+from repro.faults.chaos import (
+    ChaosReport,
+    ChaosRun,
+    build_run,
+    run_scenario,
+)
+from repro.faults.injector import (
+    FaultInjector,
+    FaultRecord,
+    SwitchoverRecord,
+)
+from repro.faults.scenario import (
+    FaultKind,
+    FaultSpec,
+    RandomFaultSpec,
+    Scenario,
+    ScenarioError,
+    TrafficSpec,
+)
+
+__all__ = [
+    "ChaosReport",
+    "ChaosRun",
+    "FaultInjector",
+    "FaultKind",
+    "FaultRecord",
+    "RandomFaultSpec",
+    "Scenario",
+    "ScenarioError",
+    "SwitchoverRecord",
+    "TrafficSpec",
+    "FaultSpec",
+    "build_run",
+    "run_scenario",
+]

@@ -1,0 +1,309 @@
+"""Chaos runs: execute a fault scenario and report what survived.
+
+:func:`run_scenario` builds the network a :class:`Scenario` describes,
+arms its fault schedule through a
+:class:`~repro.faults.injector.FaultInjector`, runs the simulation to
+the scenario's horizon, and distils the outcome into a
+:class:`ChaosReport`:
+
+* forwarding availability (delivered / sent),
+* FRR switchover latency, in simulated seconds *and* in hardware clock
+  cycles at the paper's 50 MHz Stratix clock,
+* packets lost before vs. after the last recovery (did the network
+  actually become whole again?),
+* per-fault MTTR, LDP session-recovery statistics and info-base scrub
+  totals.
+
+Everything in the report derives from simulated time and seeded
+randomness -- the same (scenario, seed) pair yields a byte-identical
+JSON report, which the CI chaos-smoke step checks literally with
+``cmp``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.device import STRATIX_EP1S40
+from repro.faults.injector import FaultInjector
+from repro.faults.scenario import Scenario, ScenarioError
+from repro.mpls.fec import PrefixFEC
+from repro.net.network import MPLSNetwork
+from repro.net.traffic import CBRSource
+from repro.obs import ListSink, get_telemetry
+
+
+def _round(value: Optional[float]) -> Optional[float]:
+    """Stable float formatting for reports (sub-nanosecond noise would
+    still be deterministic, but rounding keeps diffs readable)."""
+    return None if value is None else round(value, 9)
+
+
+@dataclass
+class ChaosRun:
+    """The live objects of one chaos run (exposed for tests)."""
+
+    scenario: Scenario
+    seed: int
+    network: MPLSNetwork
+    injector: FaultInjector
+    sources: List[CBRSource] = field(default_factory=list)
+    ldp: Any = None
+    message_ldp: Any = None
+    frr: Any = None
+    schedule: List[Any] = field(default_factory=list)
+
+
+def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
+    """Construct the network, control plane, traffic and injector for
+    one scenario without running it."""
+    topology, roles = scenario.build_topology()
+    if scenario.hardware:
+        from repro.core.hwnode import HardwareLSRNode
+
+        network = MPLSNetwork(
+            topology, roles=roles, node_factory=HardwareLSRNode
+        )
+    else:
+        network = MPLSNetwork(topology, roles=roles)
+    for flow in scenario.traffic:
+        network.attach_host(flow.egress, flow.prefix)
+
+    ldp = message_ldp = frr = None
+    if scenario.control == "ldp":
+        from repro.control.ldp import LDPProcess
+
+        ldp = LDPProcess(topology, network.nodes)
+        for flow in scenario.traffic:
+            ldp.establish_fec(PrefixFEC(flow.prefix), egress=flow.egress)
+    elif scenario.control == "ldp-messages":
+        from repro.control.ldp_sessions import MessageLDPProcess
+
+        message_ldp = MessageLDPProcess(
+            topology, network.nodes, network.scheduler
+        )
+        message_ldp.start()
+        for flow in scenario.traffic:
+            message_ldp.announce_fec(
+                flow.prefix, PrefixFEC(flow.prefix), egress=flow.egress
+            )
+    else:  # frr
+        from repro.control.frr import FastRerouteManager
+        from repro.control.rsvp_te import RSVPTESignaler
+
+        signaler = RSVPTESignaler(topology, network.nodes)
+        frr = FastRerouteManager(signaler)
+        flows = {flow.prefix: flow for flow in scenario.traffic}
+        for entry in scenario.protection:
+            prefix = entry.get("prefix", scenario.traffic[0].prefix)
+            flow = flows.get(prefix)
+            if flow is None:
+                raise ScenarioError(
+                    f"protection {entry.get('name')!r} names prefix "
+                    f"{prefix!r} with no matching flow"
+                )
+            frr.protect(
+                entry.get("name", f"protect-{prefix}"),
+                entry.get("ingress", flow.ingress),
+                entry.get("egress", flow.egress),
+                PrefixFEC(prefix),
+                bandwidth_bps=float(entry.get("bandwidth_bps", 0.0)),
+            )
+
+    sources = []
+    for i, flow in enumerate(scenario.traffic):
+        source = CBRSource(
+            network.scheduler,
+            network.source_sink(flow.ingress),
+            src=flow.src,
+            dst=flow.dst,
+            rate_bps=flow.rate_bps,
+            packet_size=flow.packet_size,
+            start=flow.start,
+            stop=flow.stop if flow.stop is not None else scenario.duration,
+            seed=seed + i,
+        )
+        source.begin()
+        sources.append(source)
+
+    injector = FaultInjector(
+        network,
+        ldp=ldp,
+        message_ldp=message_ldp,
+        frr=frr,
+        detection_delay_s=scenario.detection_delay_s,
+        seed=seed,
+    )
+    schedule = injector.apply(scenario, seed)
+    return ChaosRun(
+        scenario=scenario,
+        seed=seed,
+        network=network,
+        injector=injector,
+        sources=sources,
+        ldp=ldp,
+        message_ldp=message_ldp,
+        frr=frr,
+        schedule=schedule,
+    )
+
+
+@dataclass
+class ChaosReport:
+    """The deterministic outcome of one chaos run."""
+
+    data: Dict[str, Any]
+
+    def to_json(self) -> str:
+        return json.dumps(self.data, sort_keys=True, indent=2) + "\n"
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+
+def run_scenario(scenario: Scenario, seed: int = 0) -> ChaosReport:
+    """Run one scenario to its horizon and summarize the damage."""
+    run = build_run(scenario, seed)
+    tel = get_telemetry()
+    sink = tel.events.add_sink(ListSink()) if tel.enabled else None
+    try:
+        processed = run.network.run(until=scenario.duration)
+    finally:
+        if sink is not None:
+            tel.events.remove_sink(sink)
+    run.injector.finalize()
+    return summarize(run, processed, sink)
+
+
+def summarize(run: ChaosRun, processed: int, sink=None) -> ChaosReport:
+    network, injector = run.network, run.injector
+    sent = sum(s.sent for s in run.sources)
+    delivered = network.delivered_count()
+    dropped = network.drop_count()
+    availability = _round(delivered / sent) if sent else None
+
+    # packets that died inside a channel (loss, corruption, link-down
+    # flush) never reach a node's drop log -- count them from the
+    # channels themselves, including links that are still failed
+    all_links = list(network.links.values()) + [
+        link for link, _ in network._failed_links.values()
+    ]
+    link_lost = sum(
+        ch.lost for link in all_links for ch in (link.forward, link.reverse)
+    )
+    link_corrupted = sum(
+        ch.corrupted
+        for link in all_links
+        for ch in (link.forward, link.reverse)
+    )
+
+    # -- did the network become whole again? --------------------------------
+    recovery_times = [
+        r.recovered_at
+        for r in injector.records
+        if r.recovered_at is not None
+    ]
+    last_recovery = max(recovery_times) if recovery_times else None
+    before = after = 0
+    for drop in network.drops:
+        if last_recovery is None or drop.time <= last_recovery:
+            before += 1
+        else:
+            after += 1
+    by_reason: Dict[str, int] = {}
+    for drop in network.drops:
+        reason = drop.reason.split(":")[-1].strip()
+        by_reason[reason] = by_reason.get(reason, 0) + 1
+
+    faults = [
+        {
+            "kind": r.spec.kind.value,
+            "target": r.spec.label,
+            "injected_at": _round(r.injected_at),
+            "healed_at": _round(r.healed_at),
+            "recovered_at": _round(r.recovered_at),
+            "mttr_s": _round(r.mttr),
+            "skipped": r.skipped,
+            "detail": r.detail,
+        }
+        for r in injector.records
+    ]
+    mttrs = injector.mttr_values
+
+    report: Dict[str, Any] = {
+        "scenario": run.scenario.name,
+        "seed": run.seed,
+        "control": run.scenario.control,
+        "hardware": run.scenario.hardware,
+        "duration_s": run.scenario.duration,
+        "sim_events_processed": processed,
+        "traffic": {
+            "sent": sent,
+            "delivered": delivered,
+            "dropped": dropped,
+            "lost_on_links": link_lost,
+            "corrupted_on_links": link_corrupted,
+            "availability": availability,
+        },
+        "drops": {
+            "before_last_recovery": before,
+            "after_last_recovery": after,
+            "by_reason": dict(sorted(by_reason.items())),
+        },
+        "faults": faults,
+        "recovery": {
+            "recovered": len(mttrs),
+            "unrecovered": sum(
+                1
+                for r in injector.records
+                if not r.skipped and r.mttr is None
+            ),
+            "mean_mttr_s": _round(sum(mttrs) / len(mttrs))
+            if mttrs
+            else None,
+            "max_mttr_s": _round(max(mttrs)) if mttrs else None,
+        },
+    }
+
+    if run.frr is not None:
+        clock = STRATIX_EP1S40.clock_hz
+        latencies = [s.latency_s for s in injector.switchovers]
+        report["frr"] = {
+            "switchovers": run.frr.switchovers,
+            "reverts": len(injector.reverts),
+            "switchover_latency_s": [_round(v) for v in latencies],
+            "switchover_latency_cycles": [
+                int(round(v * clock)) for v in latencies
+            ],
+        }
+    if run.message_ldp is not None:
+        mldp = run.message_ldp
+        downtimes = [d for (_, _, _, d) in mldp.sessions_recovered]
+        report["ldp_sessions"] = {
+            "lost": len(mldp.sessions_lost),
+            "recovered": len(mldp.sessions_recovered),
+            "reconnect_attempts": mldp.reconnect_attempts,
+            "abandoned": mldp.reconnects_abandoned,
+            "mean_downtime_s": _round(sum(downtimes) / len(downtimes))
+            if downtimes
+            else None,
+        }
+    if injector.scrub_reports:
+        report["scrub"] = {
+            "runs": len(injector.scrub_reports),
+            "checked": sum(r.checked for r in injector.scrub_reports),
+            "corrupted": sum(r.corrupted for r in injector.scrub_reports),
+            "repaired": sum(r.repaired for r in injector.scrub_reports),
+            "cycles": sum(r.cycles for r in injector.scrub_reports),
+            "clean": all(r.clean for r in injector.scrub_reports),
+        }
+    if injector.corrupted_packets:
+        report["corrupted_packets"] = injector.corrupted_packets
+    if sink is not None:
+        kinds: Dict[str, int] = {}
+        for event in sink.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        report["events"] = dict(sorted(kinds.items()))
+    return ChaosReport(report)

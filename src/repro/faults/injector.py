@@ -1,0 +1,496 @@
+"""FaultInjector: executes a fault schedule against a live network.
+
+The injector owns the inject/heal lifecycle of every fault: it drives
+the data plane (:class:`~repro.net.network.MPLSNetwork` link/node
+failures, channel loss/corruption), notifies whichever control planes
+are attached after a configurable *detection delay* (FRR switchover,
+LDP reconvergence, session teardown), and records a
+:class:`FaultRecord` per fault with injection/heal/recovery times so
+MTTR can be reported.
+
+It also keeps an authoritative up/down timeline per link and node
+(:meth:`link_was_up` / :meth:`node_was_up`) -- the soak tests use it to
+assert that no packet was ever forwarded over a link that was down at
+decision time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.scenario import FaultKind, FaultSpec, Scenario, ScenarioError
+from repro.net.packet import MPLSPacket
+from repro.obs.events import FaultHealed, FaultInjected
+from repro.obs.telemetry import get_telemetry
+
+
+@dataclass
+class FaultRecord:
+    """The observed lifecycle of one injected fault."""
+
+    spec: FaultSpec
+    injected_at: float
+    healed_at: Optional[float] = None
+    #: when the control plane finished recovering (switchover done,
+    #: tables reconverged, session re-established, info base scrubbed)
+    recovered_at: Optional[float] = None
+    detail: str = ""
+    skipped: bool = False
+
+    @property
+    def mttr(self) -> Optional[float]:
+        """Mean-time-to-repair contribution: inject -> full recovery."""
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.injected_at
+
+
+@dataclass
+class SwitchoverRecord:
+    """One FRR switchover triggered by an injected failure."""
+
+    time: float
+    link: Tuple[str, str]
+    paths: List[str] = field(default_factory=list)
+    #: failure injection -> FTN rewritten (the detection delay plus
+    #: the constant-time switchover itself, which is instantaneous in
+    #: simulated time: a single FTN write)
+    latency_s: float = 0.0
+
+
+class FaultInjector:
+    """Schedules and executes the faults of a :class:`Scenario`.
+
+    Parameters
+    ----------
+    network:
+        The running domain whose scheduler times everything.
+    ldp:
+        Optional converged :class:`~repro.control.ldp.LDPProcess`;
+        reconverged after each detected topology change.
+    message_ldp:
+        Optional :class:`~repro.control.ldp_sessions.MessageLDPProcess`;
+        its sessions are dropped on link/node faults and by
+        ``ldp-session-drop`` (reconnection is the process's own
+        backoff machinery).
+    frr:
+        Optional :class:`~repro.control.frr.FastRerouteManager`;
+        told about link failures/recoveries after the detection delay.
+    detection_delay_s:
+        How long the control plane takes to notice a data-plane fault
+        (loss-of-light / BFD stand-in).  Heals are detected after the
+        same delay.
+    seed:
+        Seeds the injector's private RNG (bit positions for
+        corruption/bit-flips); independent of the schedule's seed.
+    """
+
+    def __init__(
+        self,
+        network,
+        ldp=None,
+        message_ldp=None,
+        frr=None,
+        detection_delay_s: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        self.network = network
+        self.scheduler = network.scheduler
+        self.ldp = ldp
+        self.message_ldp = message_ldp
+        self.frr = frr
+        self.detection_delay_s = detection_delay_s
+        self.rng = random.Random((seed << 4) ^ 0xB17F11B)
+        self.records: List[FaultRecord] = []
+        self.switchovers: List[SwitchoverRecord] = []
+        self.reverts: List[Tuple[float, str]] = []
+        self.scrub_reports: List[Any] = []
+        self.corrupted_packets = 0
+        #: link key -> [(time, up)] transition log (True = came up)
+        self._link_log: Dict[Tuple[str, str], List[Tuple[float, bool]]] = {}
+        self._node_log: Dict[str, List[Tuple[float, bool]]] = {}
+
+    # -- schedule ----------------------------------------------------------
+    def apply(self, scenario: Scenario, seed: int = 0) -> List[FaultSpec]:
+        """Materialize the scenario's schedule and arm every fault."""
+        schedule = scenario.materialize(seed)
+        for spec in schedule:
+            self._validate(spec, scenario)
+        for spec in schedule:
+            self.schedule_fault(spec)
+        return schedule
+
+    def _validate(self, spec: FaultSpec, scenario: Scenario) -> None:
+        for node in spec.target:
+            if node not in self.network.nodes:
+                raise ScenarioError(
+                    f"{spec.kind.value} targets unknown node {node!r}"
+                )
+        if spec.kind is FaultKind.LDP_SESSION_DROP and self.message_ldp is None:
+            raise ScenarioError(
+                "ldp-session-drop needs control = 'ldp-messages'"
+            )
+        if spec.kind is FaultKind.IB_BITFLIP:
+            node = self.network.nodes[spec.target[0]]
+            if not hasattr(node, "modifier"):
+                raise ScenarioError(
+                    f"ib-bitflip targets software node {spec.target[0]!r}; "
+                    "set \"hardware\": true"
+                )
+
+    def schedule_fault(self, spec: FaultSpec) -> FaultRecord:
+        """Arm one fault's inject (and heal, if any) on the scheduler."""
+        record = FaultRecord(spec=spec, injected_at=spec.at)
+        self.records.append(record)
+        self.scheduler.at(spec.at, lambda: self._inject(record))
+        if spec.heal_at is not None:
+            self.scheduler.at(spec.heal_at, lambda: self._heal(record))
+        return record
+
+    # -- injection ---------------------------------------------------------
+    def _inject(self, record: FaultRecord) -> None:
+        spec = record.spec
+        record.injected_at = self.scheduler.now
+        handler = {
+            FaultKind.LINK_DOWN: self._inject_link_down,
+            FaultKind.LINK_LOSS: self._inject_link_loss,
+            FaultKind.LINK_CORRUPT: self._inject_link_corrupt,
+            FaultKind.NODE_CRASH: self._inject_node_crash,
+            FaultKind.LDP_SESSION_DROP: self._inject_session_drop,
+            FaultKind.IB_BITFLIP: self._inject_bitflip,
+        }[spec.kind]
+        handler(record)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.faults.labels(spec.kind.value, spec.label).inc()
+            event = FaultInjected(
+                fault=spec.kind.value, target=spec.label,
+                detail=record.detail,
+            )
+            event.time = self.scheduler.now
+            tel.events.emit(event)
+
+    def _heal(self, record: FaultRecord) -> None:
+        if record.skipped:
+            return
+        spec = record.spec
+        record.healed_at = self.scheduler.now
+        {
+            FaultKind.LINK_DOWN: self._heal_link_down,
+            FaultKind.LINK_LOSS: self._heal_link_loss,
+            FaultKind.LINK_CORRUPT: self._heal_link_corrupt,
+            FaultKind.NODE_CRASH: self._heal_node_crash,
+            FaultKind.LDP_SESSION_DROP: self._heal_noop,
+            FaultKind.IB_BITFLIP: self._heal_bitflip,
+        }[spec.kind](record)
+        tel = get_telemetry()
+        if tel.enabled:
+            event = FaultHealed(
+                fault=spec.kind.value,
+                target=spec.label,
+                downtime=record.healed_at - record.injected_at,
+                detail=record.detail,
+            )
+            event.time = self.scheduler.now
+            tel.events.emit(event)
+
+    def _recovered(self, record: FaultRecord) -> None:
+        record.recovered_at = self.scheduler.now
+        tel = get_telemetry()
+        if tel.enabled and record.mttr is not None:
+            tel.fault_recovery.labels(record.spec.kind.value).observe(
+                record.mttr
+            )
+
+    # -- link down/up ------------------------------------------------------
+    def _inject_link_down(self, record: FaultRecord) -> None:
+        a, b = record.spec.target
+        if (a, b) not in self.network._link_of:
+            record.skipped = True
+            record.detail = "link already down"
+            return
+        self.network.fail_link(a, b)
+        self._mark_link(a, b, up=False)
+        self.scheduler.after(
+            self.detection_delay_s,
+            lambda: self._link_loss_detected(a, b, record),
+        )
+
+    def _link_loss_detected(self, a: str, b: str, record: FaultRecord) -> None:
+        if self.frr is not None:
+            repaired = self.frr.handle_link_failure(a, b)
+            if repaired:
+                self.switchovers.append(
+                    SwitchoverRecord(
+                        time=self.scheduler.now,
+                        link=(a, b),
+                        paths=repaired,
+                        latency_s=self.scheduler.now - record.injected_at,
+                    )
+                )
+        if self.ldp is not None:
+            self.ldp.reconverge()
+        if self.message_ldp is not None:
+            self.message_ldp.drop_session(a, b, reason=f"link {a}-{b} down")
+
+    def _heal_link_down(self, record: FaultRecord) -> None:
+        a, b = record.spec.target
+        self.network.restore_link(a, b)
+        self._mark_link(a, b, up=True)
+        self.scheduler.after(
+            self.detection_delay_s,
+            lambda: self._link_heal_detected(a, b, record),
+        )
+
+    def _link_heal_detected(self, a: str, b: str, record: FaultRecord) -> None:
+        if self.frr is not None:
+            for name in self.frr.handle_link_recovery(a, b):
+                self.reverts.append((self.scheduler.now, name))
+        if self.ldp is not None:
+            self.ldp.reconverge()
+        # message LDP re-establishes on its own via the backoff retries
+        self._recovered(record)
+
+    # -- link loss / corruption -------------------------------------------
+    def _inject_link_loss(self, record: FaultRecord) -> None:
+        a, b = record.spec.target
+        if (a, b) not in self.network._link_of:
+            record.skipped = True
+            record.detail = "link is down; loss not applied"
+            return
+        link = self.network.link(a, b)
+        rate = float(record.spec.params.get("rate", 0.2))
+        record.detail = f"loss rate {rate}"
+        link.set_loss(rate)
+
+    def _heal_link_loss(self, record: FaultRecord) -> None:
+        a, b = record.spec.target
+        self.network.link(a, b).set_loss(0.0)
+        self._recovered(record)
+
+    def _inject_link_corrupt(self, record: FaultRecord) -> None:
+        a, b = record.spec.target
+        if (a, b) not in self.network._link_of:
+            record.skipped = True
+            record.detail = "link is down; corruption not applied"
+            return
+        link = self.network.link(a, b)
+        rate = float(record.spec.params.get("rate", 0.1))
+        record.detail = f"corruption rate {rate}"
+        link.set_corruption(rate, corruptor=self._corrupt_packet)
+
+    def _heal_link_corrupt(self, record: FaultRecord) -> None:
+        a, b = record.spec.target
+        self.network.link(a, b).set_corruption(0.0, corruptor=None)
+        self._recovered(record)
+
+    def _corrupt_packet(self, packet):
+        """Flip one bit in the top label; unlabelled packets are
+        damaged beyond use (returned as None, a loss)."""
+        if isinstance(packet, MPLSPacket) and not packet.stack.is_empty:
+            self.corrupted_packets += 1
+            top = packet.stack.top
+            flipped = dataclasses.replace(
+                top, label=top.label ^ (1 << self.rng.randrange(20))
+            )
+            entries = (flipped,) + packet.stack.entries[1:]
+            return packet.with_stack(type(packet.stack)(entries))
+        return None
+
+    # -- node crash/restart -----------------------------------------------
+    def _inject_node_crash(self, record: FaultRecord) -> None:
+        name = record.spec.target[0]
+        if name in self.network._down_nodes:
+            record.skipped = True
+            record.detail = "node already down"
+            return
+        self.network.fail_node(name)
+        self._mark_node(name, up=False)
+        incident = self.network._down_nodes[name]
+        for a, b in incident:
+            self._mark_link(a, b, up=False)
+        record.detail = f"{len(incident)} links down"
+        if self.ldp is not None:
+            self.ldp.down_nodes.add(name)
+        self.scheduler.after(
+            self.detection_delay_s,
+            lambda: self._crash_detected(name, incident, record),
+        )
+
+    def _crash_detected(
+        self,
+        name: str,
+        incident: List[Tuple[str, str]],
+        record: FaultRecord,
+    ) -> None:
+        if self.frr is not None:
+            for a, b in incident:
+                repaired = self.frr.handle_link_failure(a, b)
+                if repaired:
+                    self.switchovers.append(
+                        SwitchoverRecord(
+                            time=self.scheduler.now,
+                            link=(a, b),
+                            paths=repaired,
+                            latency_s=(
+                                self.scheduler.now - record.injected_at
+                            ),
+                        )
+                    )
+        if self.ldp is not None:
+            self.ldp.reconverge()
+        if self.message_ldp is not None:
+            for a, b in incident:
+                self.message_ldp.drop_session(
+                    a, b, reason=f"node {name} down"
+                )
+
+    def _heal_node_crash(self, record: FaultRecord) -> None:
+        name = record.spec.target[0]
+        self.network.restore_node(name)
+        self._mark_node(name, up=True)
+        for a, b in self._restored_links(name):
+            self._mark_link(a, b, up=True)
+        if self.ldp is not None:
+            self.ldp.down_nodes.discard(name)
+        self.scheduler.after(
+            self.detection_delay_s,
+            lambda: self._restart_detected(name, record),
+        )
+
+    def _restored_links(self, name: str) -> List[Tuple[str, str]]:
+        return [
+            (a, b)
+            for (a, b) in self.network.links
+            if name in (a, b)
+        ]
+
+    def _restart_detected(self, name: str, record: FaultRecord) -> None:
+        if self.ldp is not None:
+            # the cold restart cleared the node's tables; reconvergence
+            # re-programs them (and everyone routing through the node)
+            self.ldp.reconverge()
+        if self.frr is not None:
+            for a, b in self._restored_links(name):
+                for path in self.frr.handle_link_recovery(a, b):
+                    self.reverts.append((self.scheduler.now, path))
+        self._recovered(record)
+
+    # -- LDP session drop ---------------------------------------------------
+    def _inject_session_drop(self, record: FaultRecord) -> None:
+        a, b = record.spec.target
+        self.message_ldp.drop_session(a, b)
+        record.detail = "session reset; backoff reconnect armed"
+
+    def _heal_noop(self, record: FaultRecord) -> None:
+        # recovery is autonomous (the process's own backoff machinery);
+        # finalize() back-fills recovered_at from sessions_recovered
+        pass
+
+    # -- information-base bit flips ----------------------------------------
+    def _inject_bitflip(self, record: FaultRecord) -> None:
+        name = record.spec.target[0]
+        node = self.network.nodes[name]
+        params = record.spec.params
+        level = params.get("level")
+        address = params.get("address")
+        level, address = self._pick_slot(node, level, address)
+        if level is None:
+            record.skipped = True
+            record.detail = "information base empty; nothing to corrupt"
+            return
+        label_xor = int(params.get("label_xor", 0))
+        index_xor = int(params.get("index_xor", 0))
+        op_xor = int(params.get("op_xor", 0))
+        if not (label_xor or index_xor or op_xor):
+            label_xor = 1 << self.rng.randrange(20)
+        node.modifier.corrupt_pair(
+            level, address,
+            index_xor=index_xor, label_xor=label_xor, op_xor=op_xor,
+        )
+        record.detail = (
+            f"level {level} addr {address} "
+            f"xor index={index_xor:#x} label={label_xor:#x} op={op_xor:#x}"
+        )
+
+    def _pick_slot(self, node, level, address):
+        """Choose a populated (level, address) slot deterministically."""
+        # mirror before choosing, so the info base reflects the tables
+        node._sync_info_base()
+        counts = node.modifier.ib_counts()
+        if level is None:
+            populated = [lvl for lvl in (1, 2, 3) if counts[lvl - 1] > 0]
+            if not populated:
+                return None, None
+            level = self.rng.choice(populated)
+        if counts[level - 1] == 0:
+            return None, None
+        if address is None:
+            address = self.rng.randrange(counts[level - 1])
+        return int(level), int(address)
+
+    def _heal_bitflip(self, record: FaultRecord) -> None:
+        name = record.spec.target[0]
+        node = self.network.nodes[name]
+        reports = node.scrub_info_base()
+        self.scrub_reports.extend(reports)
+        repaired = sum(r.repaired for r in reports)
+        record.detail += f"; scrub repaired {repaired}"
+        self._recovered(record)
+
+    # -- timelines ----------------------------------------------------------
+    def _mark_link(self, a: str, b: str, up: bool) -> None:
+        key = (a, b) if a <= b else (b, a)
+        self._link_log.setdefault(key, []).append((self.scheduler.now, up))
+
+    def _mark_node(self, name: str, up: bool) -> None:
+        self._node_log.setdefault(name, []).append((self.scheduler.now, up))
+
+    def link_was_up(self, a: str, b: str, t: float) -> bool:
+        """Was the adjacency up at simulated time ``t``?  (Links start
+        up; the log records every injected transition.)"""
+        key = (a, b) if a <= b else (b, a)
+        state = True
+        for ts, up in self._link_log.get(key, []):
+            if ts > t:
+                break
+            state = up
+        return state and self.node_was_up(a, t) and self.node_was_up(b, t)
+
+    def node_was_up(self, name: str, t: float) -> bool:
+        state = True
+        for ts, up in self._node_log.get(name, []):
+            if ts > t:
+                break
+            state = up
+        return state
+
+    # -- wrap-up ------------------------------------------------------------
+    def finalize(self) -> None:
+        """Back-fill recovery times that are observed, not scheduled:
+        an LDP session drop recovers whenever the process's backoff
+        machinery re-establishes the session."""
+        if self.message_ldp is None:
+            return
+        recovered = list(self.message_ldp.sessions_recovered)
+        for record in self.records:
+            if record.spec.kind is not FaultKind.LDP_SESSION_DROP:
+                continue
+            if record.recovered_at is not None:
+                continue
+            want = tuple(sorted(record.spec.target))
+            for when, a, b, _downtime in recovered:
+                if (
+                    tuple(sorted((a, b))) == want
+                    and when >= record.injected_at
+                ):
+                    record.recovered_at = when
+                    break
+
+    @property
+    def mttr_values(self) -> List[float]:
+        """Every completed inject->recover interval, in seconds."""
+        return [r.mttr for r in self.records if r.mttr is not None]

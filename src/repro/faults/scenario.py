@@ -1,0 +1,428 @@
+"""Fault scenarios: what breaks, when, and for how long.
+
+A scenario is a declarative JSON document binding a topology, traffic,
+and a control-plane flavour to a schedule of fault events.  Everything
+is deterministic: explicit faults carry their own times, and the
+optional randomized schedule is expanded by :meth:`Scenario.materialize`
+from a caller-supplied seed, so the same (scenario, seed) pair always
+produces the same schedule -- the property the chaos CLI and the soak
+tests rely on.
+
+Schema (all times in simulated seconds)::
+
+    {
+      "name": "link-flap",
+      "description": "...",
+      "topology": {"kind": "paper_figure1",
+                   "bandwidth_bps": 10e6, "delay_s": 1e-3},
+      "edges": ["ler-a", "ler-b"],
+      "hardware": false,
+      "control": "ldp",                    // ldp | ldp-messages | frr
+      "duration": 1.0,
+      "detection_delay_s": 1e-3,
+      "traffic": [{"ingress": "ler-a", "egress": "ler-b",
+                   "prefix": "10.2.0.0/16",
+                   "src": "10.1.0.5", "dst": "10.2.0.9",
+                   "rate_bps": 2e6, "packet_size": 500,
+                   "start": 0.0, "stop": null}],
+      "protection": [{"name": "p1", "ingress": "ler-a",
+                      "egress": "ler-b"}],   // frr only
+      "faults": [{"at": 0.2, "kind": "link-down",
+                  "target": ["lsr-1", "lsr-2"], "heal_at": 0.6}],
+      "random_faults": {"count": 6, "kinds": ["link-down"],
+                        "window": [0.1, 0.7], "mean_outage": 0.05}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.mpls.router import RouterRole
+from repro.net.topology import (
+    Topology,
+    full_mesh,
+    line,
+    paper_figure1,
+    ring,
+)
+
+
+class ScenarioError(ValueError):
+    """A scenario document is malformed or internally inconsistent."""
+
+
+class FaultKind(str, Enum):
+    """The fault taxonomy, one per recoverable failure mode."""
+
+    LINK_DOWN = "link-down"          #: adjacency out of service
+    LINK_FLAP = "link-flap"          #: repeated short down/up cycles
+    LINK_LOSS = "link-loss"          #: random packet loss on a link
+    LINK_CORRUPT = "link-corrupt"    #: label bit errors in transit
+    NODE_CRASH = "node-crash"        #: cold crash/restart of a router
+    LDP_SESSION_DROP = "ldp-session-drop"  #: session reset + backoff
+    IB_BITFLIP = "ib-bitflip"        #: SEU in the hardware info base
+
+
+#: kinds whose target is a link (two node names)
+LINK_KINDS = frozenset(
+    {
+        FaultKind.LINK_DOWN,
+        FaultKind.LINK_FLAP,
+        FaultKind.LINK_LOSS,
+        FaultKind.LINK_CORRUPT,
+        FaultKind.LDP_SESSION_DROP,
+    }
+)
+
+#: kinds whose target is a single node
+NODE_KINDS = frozenset({FaultKind.NODE_CRASH, FaultKind.IB_BITFLIP})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: inject at ``at``, heal at ``heal_at``.
+
+    ``target`` is ``(a, b)`` for link-scoped kinds and ``(node,)`` for
+    node-scoped ones.  ``params`` carries kind-specific knobs (loss
+    ``rate``, bit-flip ``level``/``address``, flap ``flaps``/``period``).
+    """
+
+    kind: FaultKind
+    at: float
+    target: Tuple[str, ...]
+    heal_at: Optional[float] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        want = 2 if self.kind in LINK_KINDS else 1
+        if len(self.target) != want:
+            raise ScenarioError(
+                f"{self.kind.value} targets {want} node(s), "
+                f"got {self.target!r}"
+            )
+        if self.at < 0:
+            raise ScenarioError(f"fault time {self.at} is negative")
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ScenarioError(
+                f"heal_at {self.heal_at} must come after at {self.at}"
+            )
+
+    @property
+    def label(self) -> str:
+        """A stable human-readable target label (``a-b`` or ``node``)."""
+        return "-".join(self.target)
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "FaultSpec":
+        try:
+            kind = FaultKind(raw["kind"])
+        except KeyError:
+            raise ScenarioError(f"fault entry missing 'kind': {raw!r}")
+        except ValueError:
+            raise ScenarioError(f"unknown fault kind {raw['kind']!r}")
+        target = raw.get("target")
+        if isinstance(target, str):
+            target = (target,)
+        elif isinstance(target, (list, tuple)):
+            target = tuple(target)
+        else:
+            raise ScenarioError(f"fault entry missing 'target': {raw!r}")
+        params = {
+            k: v
+            for k, v in raw.items()
+            if k not in ("kind", "at", "target", "heal_at")
+        }
+        return cls(
+            kind=kind,
+            at=float(raw.get("at", 0.0)),
+            target=target,
+            heal_at=(
+                float(raw["heal_at"]) if raw.get("heal_at") is not None
+                else None
+            ),
+            params=params,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": self.kind.value,
+            "at": self.at,
+            "target": list(self.target),
+        }
+        if self.heal_at is not None:
+            out["heal_at"] = self.heal_at
+        out.update(self.params)
+        return out
+
+
+@dataclass
+class TrafficSpec:
+    """One CBR flow across the domain."""
+
+    ingress: str
+    egress: str
+    prefix: str
+    src: str
+    dst: str
+    rate_bps: float = 1e6
+    packet_size: int = 500
+    start: float = 0.0
+    stop: Optional[float] = None
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "TrafficSpec":
+        try:
+            return cls(
+                ingress=raw["ingress"],
+                egress=raw["egress"],
+                prefix=raw["prefix"],
+                src=raw["src"],
+                dst=raw["dst"],
+                rate_bps=float(raw.get("rate_bps", 1e6)),
+                packet_size=int(raw.get("packet_size", 500)),
+                start=float(raw.get("start", 0.0)),
+                stop=(
+                    float(raw["stop"]) if raw.get("stop") is not None
+                    else None
+                ),
+            )
+        except KeyError as exc:
+            raise ScenarioError(f"traffic entry missing {exc}")
+
+
+@dataclass
+class RandomFaultSpec:
+    """A seeded randomized fault schedule, expanded at materialize time."""
+
+    count: int
+    kinds: List[FaultKind]
+    window: Tuple[float, float]
+    mean_outage: float = 0.05
+    #: restrict link faults to these links / node faults to these nodes
+    targets: Optional[List[Tuple[str, ...]]] = None
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "RandomFaultSpec":
+        kinds = [FaultKind(k) for k in raw.get("kinds", ["link-down"])]
+        window = tuple(float(t) for t in raw.get("window", (0.0, 1.0)))
+        if len(window) != 2 or window[1] <= window[0]:
+            raise ScenarioError(f"bad random window {window!r}")
+        targets = raw.get("targets")
+        if targets is not None:
+            targets = [
+                (t,) if isinstance(t, str) else tuple(t) for t in targets
+            ]
+        return cls(
+            count=int(raw.get("count", 4)),
+            kinds=kinds,
+            window=window,  # type: ignore[arg-type]
+            mean_outage=float(raw.get("mean_outage", 0.05)),
+            targets=targets,
+        )
+
+
+_TOPOLOGY_BUILDERS = {
+    "paper_figure1": paper_figure1,
+    "ring": ring,
+    "line": line,
+    "full_mesh": full_mesh,
+}
+
+
+@dataclass
+class Scenario:
+    """A complete chaos scenario: network + traffic + fault schedule."""
+
+    name: str
+    topology: Mapping[str, Any]
+    traffic: List[TrafficSpec]
+    description: str = ""
+    edges: Optional[List[str]] = None
+    hardware: bool = False
+    control: str = "ldp"  # "ldp" | "ldp-messages" | "frr"
+    duration: float = 1.0
+    detection_delay_s: float = 1e-3
+    protection: List[Mapping[str, Any]] = field(default_factory=list)
+    faults: List[FaultSpec] = field(default_factory=list)
+    random_faults: Optional[RandomFaultSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.control not in ("ldp", "ldp-messages", "frr"):
+            raise ScenarioError(f"unknown control plane {self.control!r}")
+        if self.duration <= 0:
+            raise ScenarioError("duration must be positive")
+        if not self.traffic:
+            raise ScenarioError("a scenario needs at least one flow")
+        if self.control == "frr" and not self.protection:
+            raise ScenarioError("frr control needs a 'protection' list")
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "Scenario":
+        faults = [FaultSpec.from_dict(f) for f in raw.get("faults", [])]
+        rand = raw.get("random_faults")
+        return cls(
+            name=raw.get("name", "unnamed"),
+            description=raw.get("description", ""),
+            topology=dict(raw.get("topology", {"kind": "paper_figure1"})),
+            edges=raw.get("edges"),
+            hardware=bool(raw.get("hardware", False)),
+            control=raw.get("control", "ldp"),
+            duration=float(raw.get("duration", 1.0)),
+            detection_delay_s=float(raw.get("detection_delay_s", 1e-3)),
+            traffic=[TrafficSpec.from_dict(t) for t in raw["traffic"]]
+            if raw.get("traffic")
+            else [],
+            protection=list(raw.get("protection", [])),
+            faults=faults,
+            random_faults=(
+                RandomFaultSpec.from_dict(rand) if rand else None
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"scenario is not valid JSON: {exc}")
+        return cls.from_dict(raw)
+
+    @classmethod
+    def load(cls, path: str) -> "Scenario":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # -- topology -----------------------------------------------------------
+    def build_topology(self) -> Tuple[Topology, Dict[str, RouterRole]]:
+        """Instantiate the topology and its LER role map."""
+        spec = dict(self.topology)
+        kind = spec.pop("kind", "paper_figure1")
+        builder = _TOPOLOGY_BUILDERS.get(kind)
+        if builder is None:
+            raise ScenarioError(f"unknown topology kind {kind!r}")
+        topo = builder(**spec)
+        edges = self.edges
+        if edges is None:
+            if kind == "paper_figure1":
+                edges = ["ler-a", "ler-b"]
+            else:
+                # line/ring/mesh: traffic endpoints are the edges
+                edges = sorted(
+                    {t.ingress for t in self.traffic}
+                    | {t.egress for t in self.traffic}
+                )
+        for name in edges:
+            if name not in topo.nodes:
+                raise ScenarioError(f"edge {name!r} is not in the topology")
+        roles = {name: RouterRole.LER for name in edges}
+        return topo, roles
+
+    # -- schedule expansion -------------------------------------------------
+    def materialize(self, seed: int) -> List[FaultSpec]:
+        """The full fault schedule: explicit faults (flaps expanded)
+        plus the seeded randomized schedule, sorted by injection time."""
+        schedule: List[FaultSpec] = []
+        for spec in self.faults:
+            if spec.kind is FaultKind.LINK_FLAP:
+                schedule.extend(_expand_flap(spec))
+            else:
+                schedule.append(spec)
+        if self.random_faults is not None:
+            topo, _ = self.build_topology()
+            schedule.extend(
+                _random_schedule(
+                    self.random_faults, topo, self, seed, schedule
+                )
+            )
+        schedule.sort(key=lambda s: (s.at, s.kind.value, s.target))
+        return schedule
+
+
+def _expand_flap(spec: FaultSpec) -> List[FaultSpec]:
+    """A flap is sugar for ``flaps`` short link-down/up cycles, each
+    ``period`` long with a 50% duty cycle."""
+    flaps = int(spec.params.get("flaps", 3))
+    period = float(spec.params.get("period", 0.05))
+    if flaps < 1 or period <= 0:
+        raise ScenarioError(f"bad flap parameters in {spec!r}")
+    return [
+        FaultSpec(
+            kind=FaultKind.LINK_DOWN,
+            at=round(spec.at + i * period, 9),
+            target=spec.target,
+            heal_at=round(spec.at + i * period + period / 2, 9),
+        )
+        for i in range(flaps)
+    ]
+
+
+def _random_schedule(
+    rand: RandomFaultSpec,
+    topology: Topology,
+    scenario: Scenario,
+    seed: int,
+    existing: Optional[List[FaultSpec]] = None,
+) -> List[FaultSpec]:
+    """Expand a randomized schedule deterministically from ``seed``.
+
+    Draws are rejected when they would overlap an existing outage on
+    the same target -- whether from an earlier draw or from the
+    scenario's explicit faults (concurrent faults on one link/node
+    would make heal bookkeeping ambiguous) -- with a bounded retry
+    budget so the expansion always terminates.
+    """
+    rng = random.Random((seed << 8) ^ 0xFA17)
+    links = sorted(
+        tuple(sorted((a, b)))
+        for a, b, _ in topology.edges_with_attrs()
+    )
+    edge_names = {t.ingress for t in scenario.traffic} | {
+        t.egress for t in scenario.traffic
+    }
+    core = sorted(set(topology.nodes) - edge_names)
+    busy: Dict[Tuple[str, ...], List[Tuple[float, float]]] = {}
+    for spec in existing or []:
+        key = tuple(sorted(spec.target))
+        hi = spec.heal_at if spec.heal_at is not None else scenario.duration
+        busy.setdefault(key, []).append((spec.at, hi))
+    out: List[FaultSpec] = []
+    attempts = 0
+    while len(out) < rand.count and attempts < rand.count * 20:
+        attempts += 1
+        kind = rng.choice(sorted(rand.kinds, key=lambda k: k.value))
+        if rand.targets is not None:
+            target = tuple(rng.choice(rand.targets))
+        elif kind in LINK_KINDS:
+            target = rng.choice(links)
+        elif kind is FaultKind.NODE_CRASH and core:
+            target = (rng.choice(core),)
+        else:  # node-scoped with no core nodes: nothing safe to break
+            continue
+        at = round(rng.uniform(*rand.window), 6)
+        outage = max(rand.mean_outage / 10.0,
+                     rng.expovariate(1.0 / rand.mean_outage))
+        heal_at = round(min(at + outage, rand.window[1] + outage), 6)
+        if heal_at <= at:
+            continue
+        intervals = busy.setdefault(target, [])
+        if any(at < hi and heal_at > lo for lo, hi in intervals):
+            continue  # overlaps an existing outage on this target
+        intervals.append((at, heal_at))
+        params: Dict[str, Any] = {}
+        if kind is FaultKind.LINK_LOSS:
+            params["rate"] = round(rng.uniform(0.05, 0.4), 3)
+        elif kind is FaultKind.LINK_CORRUPT:
+            params["rate"] = round(rng.uniform(0.05, 0.3), 3)
+        out.append(
+            FaultSpec(
+                kind=kind, at=at, target=target,
+                heal_at=heal_at, params=params,
+            )
+        )
+    return out

@@ -284,9 +284,51 @@ class ModifierDriver:
             cycles=cycles,
         )
 
+    # -- fault injection ----------------------------------------------------
+    def corrupt_pair(
+        self,
+        level: int,
+        address: int,
+        index_xor: int = 0,
+        label_xor: int = 0,
+        op_xor: int = 0,
+    ) -> bool:
+        """Flip bits directly in the information-base memories (an SEU
+        model: no transaction, no cycles).  Returns False when
+        ``address`` holds no pair."""
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        lvl = self.modifier.dp.info_base.level(level)
+        if not 0 <= address < lvl.count:
+            return False
+        if index_xor:
+            lvl.index_mem.poke(
+                address, lvl.index_mem.peek(address) ^ index_xor
+            )
+        if label_xor:
+            lvl.label_mem.poke(
+                address, lvl.label_mem.peek(address) ^ label_xor
+            )
+        if op_xor:
+            lvl.op_mem.poke(address, lvl.op_mem.peek(address) ^ op_xor)
+        return True
+
+    def scrub(self, level: int, expected, repair: bool = True):
+        """Verify (and repair) one level against the control plane's
+        shadow; same semantics as
+        :meth:`repro.hw.model.FunctionalModifier.scrub`, measured in
+        real RTL transaction cycles."""
+        from repro.hw.model import scrub_level
+
+        return scrub_level(self, level, expected, repair=repair)
+
     # -- inspection ---------------------------------------------------------
     def stack(self):
         return self.modifier.stack_entries()
 
     def ib_counts(self):
         return self.modifier.ib_counts()
+
+    def ib_pairs(self, level: int):
+        """The stored (index, label, op) triples of one level."""
+        return self.modifier.dp.info_base.level(level).dump_pairs()

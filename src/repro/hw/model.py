@@ -20,8 +20,9 @@ lookups), and the LER/LSR consistency checks of VERIFY_INFO.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.hw.opcodes import (
     MgmtResult,
@@ -79,6 +80,113 @@ def search_cycles(n_entries: int, hit_position: Optional[int]) -> int:
 class _Level:
     pairs: List[Tuple[int, int, int]] = field(default_factory=list)
     overflow: bool = False
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one information-base scrub (see :func:`scrub_level`)."""
+
+    level: int
+    checked: int = 0
+    corrupted: int = 0
+    repaired: int = 0
+    passes: int = 0
+    cycles: int = 0
+    clean: bool = True
+
+
+def _normalize_pairs(
+    level: int, pairs: Iterable[Tuple[int, int, object]]
+) -> List[Tuple[int, int, int]]:
+    mask = 0xFFFFFFFF if level == 1 else 0xFFFFF
+    return [
+        (index & mask, label & 0xFFFFF, int(op))
+        for index, label, op in pairs
+    ]
+
+
+def scrub_level(
+    device,
+    level: int,
+    expected: Iterable[Tuple[int, int, object]],
+    repair: bool = True,
+    max_passes: int = 3,
+) -> ScrubReport:
+    """Walk one information-base level and repair corrupted pairs.
+
+    The software side of the VERIFY_INFO idea: the control plane knows
+    every (index, label, operation) triple it programmed, so a scrub
+    reads each occupied address back through the management port
+    (READ_ENTRY), diffs against that shadow, and repairs divergence in
+    place -- MODIFY_PAIR when only the label/operation flipped,
+    REMOVE_PAIR + WRITE_PAIR when the index itself was hit.  Every
+    transaction's cycles are accounted, so the repair cost is
+    comparable against a full reprogram.
+
+    ``device`` is anything speaking the driver transaction protocol
+    (:class:`FunctionalModifier` or
+    :class:`~repro.hw.driver.ModifierDriver`).  A repair that needs
+    more than ``max_passes`` detection/repair rounds (possible when a
+    corrupted index collides with a healthy entry) reports
+    ``clean=False``.
+    """
+    if level not in (1, 2, 3):
+        raise ValueError(f"level must be 1..3, got {level}")
+    want = Counter(_normalize_pairs(level, expected))
+    report = ScrubReport(level=level)
+    for _ in range(max_passes):
+        report.passes += 1
+        count = device.ib_counts()[level - 1]
+        stored: List[Tuple[int, int, int]] = []
+        for address in range(count):
+            entry = device.read_entry(level, address)
+            report.cycles += entry.cycles
+            if entry.valid:
+                stored.append((entry.index, entry.label, int(entry.op)))
+        report.checked += len(stored)
+        have = Counter(stored)
+        bad = list((have - want).elements())
+        missing = list((want - have).elements())
+        if not bad and not missing:
+            report.clean = True
+            return report
+        report.corrupted += len(bad)
+        if not repair:
+            report.clean = False
+            return report
+        for entry in bad:
+            match = next(
+                (m for m in missing if m[0] == entry[0]), None
+            )
+            if match is not None:
+                # same key, flipped payload: rewrite in place
+                result = device.modify_pair(
+                    level, match[0], match[1], LabelOp(match[2])
+                )
+                report.cycles += result.cycles
+                if result.found:
+                    report.repaired += 1
+                missing.remove(match)
+            else:
+                # the index itself flipped: drop the orphan pair
+                result = device.remove_pair(level, entry[0])
+                report.cycles += result.cycles
+                if result.found:
+                    report.repaired += 1
+        for index, label, op in missing:
+            report.cycles += device.write_pair(
+                level, index, label, LabelOp(op)
+            )
+    # out of passes: one final verification read
+    count = device.ib_counts()[level - 1]
+    final: List[Tuple[int, int, int]] = []
+    for address in range(count):
+        entry = device.read_entry(level, address)
+        report.cycles += entry.cycles
+        if entry.valid:
+            final.append((entry.index, entry.label, int(entry.op)))
+    report.clean = Counter(final) == want
+    return report
 
 
 class FunctionalModifier:
@@ -319,9 +427,51 @@ class FunctionalModifier:
             stack=tuple(self._stack),
         )
 
+    # -- fault injection ----------------------------------------------------
+    def corrupt_pair(
+        self,
+        level: int,
+        address: int,
+        index_xor: int = 0,
+        label_xor: int = 0,
+        op_xor: int = 0,
+    ) -> bool:
+        """Flip bits in the stored pair at ``address`` (a soft-error /
+        SEU model, not a hardware transaction: zero cycles).  Returns
+        False when the address holds no pair."""
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        lvl = self._levels[level - 1]
+        if not 0 <= address < len(lvl.pairs):
+            return False
+        index, label, op = lvl.pairs[address]
+        mask = 0xFFFFFFFF if level == 1 else 0xFFFFF
+        lvl.pairs[address] = (
+            (index ^ index_xor) & mask,
+            (label ^ label_xor) & 0xFFFFF,
+            (op ^ op_xor) & 0x3,
+        )
+        return True
+
+    def scrub(
+        self,
+        level: int,
+        expected: Iterable[Tuple[int, int, object]],
+        repair: bool = True,
+    ) -> ScrubReport:
+        """Verify (and repair) one level against the control plane's
+        shadow of what it programmed; see :func:`scrub_level`."""
+        return scrub_level(self, level, expected, repair=repair)
+
     # -- inspection ---------------------------------------------------------
     def stack(self) -> List[LabelEntry]:
         return list(self._stack)
 
     def ib_counts(self) -> Tuple[int, int, int]:
         return tuple(len(lvl.pairs) for lvl in self._levels)  # type: ignore[return-value]
+
+    def ib_pairs(self, level: int) -> List[Tuple[int, int, int]]:
+        """The stored (index, label, op) triples of one level."""
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        return list(self._levels[level - 1].pairs)

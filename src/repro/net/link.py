@@ -92,10 +92,53 @@ class SimplexChannel:
         self.tx_bytes = 0
         self.dropped = 0
         self.lost = 0
+        #: Fault state: a down channel drops everything (queued,
+        #: transmitting, and propagating packets all count as lost).
+        self.up = True
+        #: Generation counter bumped on every down transition, so
+        #: callbacks scheduled before a failure are invalidated even if
+        #: the channel comes back up before they fire.
+        self._epoch = 0
+        #: Deterministic corruption: each transmitted packet is passed
+        #: through ``corruptor`` with probability ``corrupt_rate``.
+        #: Without a corruptor the packet is counted as lost instead.
+        self.corrupt_rate = 0.0
+        self._corrupt_rng = random.Random(loss_seed ^ 0x5EED)
+        self.corruptor: Optional[Callable[[Any], Any]] = None
+        self.corrupted = 0
+
+    # -- fault state --------------------------------------------------------
+    def set_down(self) -> None:
+        """Fail the channel: flush the queue and lose in-flight packets."""
+        if not self.up:
+            return
+        self.up = False
+        self._epoch += 1
+        tel = get_telemetry()
+        while True:
+            item = self.queue.dequeue()
+            if item is None:
+                break
+            self.lost += 1
+            if tel.enabled:
+                tel.link_drops.labels(
+                    self.src.node, self.dst.node, "link-down"
+                ).inc()
+        self._busy = False
+
+    def set_up(self) -> None:
+        self.up = True
 
     def send(self, packet: Any, size_bytes: int, cos: int = 0) -> bool:
         """Queue a packet for transmission.  Returns False on drop."""
         tel = get_telemetry()
+        if not self.up:
+            self.dropped += 1
+            if tel.enabled:
+                tel.link_drops.labels(
+                    self.src.node, self.dst.node, "link-down"
+                ).inc()
+            return False
         if not self.queue.enqueue((packet, size_bytes), cos):
             self.dropped += 1
             if tel.enabled:
@@ -124,9 +167,14 @@ class SimplexChannel:
             )
         self._busy = True
         tx_time = size_bytes * 8 / self.bandwidth_bps
-        self.scheduler.after(tx_time, lambda: self._tx_done(packet, size_bytes))
+        epoch = self._epoch
+        self.scheduler.after(
+            tx_time, lambda: self._tx_done(packet, size_bytes, epoch)
+        )
 
-    def _tx_done(self, packet: Any, size_bytes: int) -> None:
+    def _tx_done(self, packet: Any, size_bytes: int, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # the channel went down while transmitting
         self.tx_packets += 1
         self.tx_bytes += size_bytes
         tel = get_telemetry()
@@ -143,10 +191,28 @@ class SimplexChannel:
                     self.src.node, self.dst.node, "wire-loss"
                 ).inc()
         else:
-            self.scheduler.after(self.delay_s, lambda: self._arrive(packet))
+            if self.corrupt_rate and (
+                self._corrupt_rng.random() < self.corrupt_rate
+            ):
+                self.corrupted += 1
+                if tel.enabled:
+                    tel.link_drops.labels(
+                        self.src.node, self.dst.node, "corrupted"
+                    ).inc()
+                if self.corruptor is None:
+                    # no corruptor: an unrecoverable frame, i.e. a loss
+                    self.lost += 1
+                    self._start_next()
+                    return
+                packet = self.corruptor(packet)
+            self.scheduler.after(
+                self.delay_s, lambda: self._arrive(packet, epoch)
+            )
         self._start_next()
 
-    def _arrive(self, packet: Any) -> None:
+    def _arrive(self, packet: Any, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # the channel went down while the packet propagated
         if self.on_deliver is not None:
             self.on_deliver(self.dst, packet)
 
@@ -196,6 +262,42 @@ class Link:
             scheduler, b, a, bandwidth_bps, delay_s, queue_factory(),
             loss_rate=loss_rate, loss_seed=loss_seed + 1,
         )
+
+    # -- fault state --------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        return self.forward.up and self.reverse.up
+
+    def fail(self) -> None:
+        """Take both directions down; queued and in-flight packets are
+        lost."""
+        self.forward.set_down()
+        self.reverse.set_down()
+
+    def heal(self) -> None:
+        self.forward.set_up()
+        self.reverse.set_up()
+
+    def set_loss(self, rate: float) -> None:
+        """Set the wire loss probability on both directions."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {rate}")
+        self.forward.loss_rate = rate
+        self.reverse.loss_rate = rate
+
+    def set_corruption(
+        self, rate: float, corruptor: Optional[Callable[[Any], Any]] = None
+    ) -> None:
+        """Corrupt each transmitted packet with probability ``rate``.
+
+        With a ``corruptor`` the mangled packet still arrives (and the
+        receiver must cope); without one corruption is counted as loss.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corrupt rate must be in [0, 1], got {rate}")
+        for channel in (self.forward, self.reverse):
+            channel.corrupt_rate = rate
+            channel.corruptor = corruptor
 
     def channel_from(self, node: str) -> SimplexChannel:
         """The outbound channel as seen from ``node``."""

@@ -120,6 +120,11 @@ class MPLSNetwork:
         self._hosts: Dict[str, List[Tuple[IPv4Prefix, Optional[Callable]]]] = {}
         self.deliveries: List[Delivery] = []
         self.drops: List[Drop] = []
+        #: failed link key -> (link, saved control-plane attributes)
+        self._failed_links: Dict[Tuple[str, str], Tuple[Link, Any]] = {}
+        #: crashed nodes (packets at them are dropped; their links are
+        #: down) and the links each crash took out
+        self._down_nodes: Dict[str, List[Tuple[str, str]]] = {}
 
     # -- wiring ----------------------------------------------------------
     def node(self, name: str) -> LSRNode:
@@ -166,6 +171,11 @@ class MPLSNetwork:
     def _process(
         self, node_name: str, packet: Union[IPv4Packet, MPLSPacket]
     ) -> None:
+        if node_name in self._down_nodes:
+            self._record_drop(
+                self.scheduler.now, node_name, f"{node_name}: node down"
+            )
+            return
         node = self.nodes[node_name]
         # An unlabelled packet for a locally attached prefix is handed
         # straight to the layer-2 side -- the egress-LER case when
@@ -258,20 +268,80 @@ class MPLSNetwork:
 
         The adjacency disappears from both the data plane (subsequent
         sends towards the dead neighbour are dropped with a "no link"
-        reason; packets already in flight on the link are lost) and the
-        control-plane topology, so SPF/CSPF reconvergence sees the
-        failure.
+        reason; packets already queued or in flight on the link are
+        lost) and the control-plane topology, so SPF/CSPF
+        reconvergence sees the failure.  The link itself is retained so
+        :meth:`restore_link` can bring it back.
         """
         link = self.link(a, b)
         self._link_of.pop((a, b))
         self._link_of.pop((b, a))
         key = (a, b) if a <= b else (b, a)
         self.links.pop(key)
-        # in-flight packets are lost: silence the delivery callbacks
-        link.forward.on_deliver = None
-        link.reverse.on_deliver = None
+        link.fail()
+        attrs = None
         if self.topology.has_link(a, b):
+            attrs = self.topology.link(a, b)
             self.topology.remove_link(a, b)
+        self._failed_links[key] = (link, attrs)
+
+    def restore_link(self, a: str, b: str) -> Link:
+        """Bring a previously failed link back into service, restoring
+        its control-plane attributes (the heal half of a link fault)."""
+        key = (a, b) if a <= b else (b, a)
+        try:
+            link, attrs = self._failed_links.pop(key)
+        except KeyError:
+            raise KeyError(f"link {a!r}-{b!r} is not failed") from None
+        link.heal()
+        self.links[key] = link
+        self._link_of[(a, b)] = link
+        self._link_of[(b, a)] = link
+        if attrs is not None and not self.topology.has_link(a, b):
+            self.topology.restore_link(a, b, attrs)
+        return link
+
+    def link_is_up(self, a: str, b: str) -> bool:
+        """True when the adjacency exists and neither endpoint crashed."""
+        return (
+            (a, b) in self._link_of
+            and a not in self._down_nodes
+            and b not in self._down_nodes
+        )
+
+    def fail_node(self, name: str) -> None:
+        """Crash a node: all its links go down and packets handed to it
+        are dropped until :meth:`restore_node`."""
+        if name not in self.nodes:
+            raise KeyError(f"unknown node {name!r}")
+        if name in self._down_nodes:
+            return
+        incident = [
+            (a, b) for (a, b) in list(self.links) if name in (a, b)
+        ]
+        for a, b in incident:
+            self.fail_link(a, b)
+        self._down_nodes[name] = incident
+
+    def restore_node(self, name: str) -> None:
+        """Restart a crashed node.
+
+        The restart is cold: the node's ILM/FTN tables are cleared
+        (forwarding state does not survive a crash) and must be
+        re-programmed by the control plane.  Its links come back up.
+        """
+        try:
+            incident = self._down_nodes.pop(name)
+        except KeyError:
+            raise KeyError(f"node {name!r} is not down") from None
+        node = self.nodes[name]
+        node.ilm.clear()
+        node.ftn.clear()
+        for a, b in incident:
+            # a link shared with another crashed node stays down
+            other = b if a == name else a
+            if other not in self._down_nodes:
+                self.restore_link(a, b)
 
     # -- running ---------------------------------------------------------
     def run(self, until: Optional[float] = None) -> int:

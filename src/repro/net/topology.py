@@ -95,6 +95,19 @@ class Topology:
             raise TopologyError(f"no link {a!r}-{b!r}")
         del self._links[key]
 
+    def restore_link(self, a: str, b: str, attrs: LinkAttributes) -> None:
+        """Re-insert a previously removed adjacency with its saved
+        attributes (TE reservations included) -- the heal half of a
+        link-failure fault."""
+        if a not in self._nodes:
+            raise TopologyError(f"unknown node {a!r}")
+        if b not in self._nodes:
+            raise TopologyError(f"unknown node {b!r}")
+        key = self._key(a, b)
+        if key in self._links:
+            raise TopologyError(f"link {a!r}-{b!r} already exists")
+        self._links[key] = attrs
+
     @staticmethod
     def _key(a: str, b: str) -> Tuple[str, str]:
         return (a, b) if a <= b else (b, a)

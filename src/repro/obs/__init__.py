@@ -27,8 +27,11 @@ from repro.obs.events import (
     CallbackSink,
     Event,
     EventLog,
+    FaultHealed,
+    FaultInjected,
     FSMTransition,
     InfoBaseProgrammed,
+    InfoBaseScrubbed,
     JSONLSink,
     LabelMappingInstalled,
     LabelOpApplied,
@@ -61,10 +64,13 @@ __all__ = [
     "CycleProfiler",
     "Event",
     "EventLog",
+    "FaultHealed",
+    "FaultInjected",
     "FSMTransition",
     "Gauge",
     "Histogram",
     "InfoBaseProgrammed",
+    "InfoBaseScrubbed",
     "JSONLSink",
     "LabelMappingInstalled",
     "LabelOpApplied",

@@ -114,6 +114,42 @@ class LSPEvent(Event):
     detail: str = ""
 
 
+# -- fault injection ---------------------------------------------------------
+@dataclass
+class FaultInjected(Event):
+    """A fault entered the system (from :mod:`repro.faults`)."""
+
+    kind: ClassVar[str] = "fault-injected"
+    fault: str = ""  # the FaultKind value, e.g. "link-down"
+    target: str = ""
+    detail: str = ""
+
+
+@dataclass
+class FaultHealed(Event):
+    """A previously injected fault was cleared; ``downtime`` is the
+    injected-to-healed interval in simulated seconds."""
+
+    kind: ClassVar[str] = "fault-healed"
+    fault: str = ""
+    target: str = ""
+    downtime: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class InfoBaseScrubbed(Event):
+    """A VERIFY_INFO-style scrub pass walked a node's information base
+    and repaired any corrupted pairs in place."""
+
+    kind: ClassVar[str] = "ib-scrub"
+    node: str = ""
+    checked: int = 0
+    corrupted: int = 0
+    repaired: int = 0
+    cycles: int = 0
+
+
 # -- embedded hardware -------------------------------------------------------
 @dataclass
 class FSMTransition(Event):

@@ -185,6 +185,9 @@ class MetricFamily:
     def inc(self, amount: float = 1.0) -> None:
         self._solo().inc(amount)
 
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
     def set(self, value: float) -> None:
         self._solo().set(value)
 

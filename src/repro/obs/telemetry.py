@@ -114,6 +114,27 @@ class Telemetry:
             "Label pairs programmed into the hardware information base",
             ("node",),
         )
+        self.faults = r.counter(
+            "repro_faults_injected_total",
+            "Faults injected by the chaos layer, by kind and target",
+            ("kind", "target"),
+        )
+        self.fault_recovery = r.histogram(
+            "repro_fault_recovery_seconds",
+            "Injection-to-recovery interval per fault kind (MTTR)",
+            ("kind",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.ldp_retries = r.counter(
+            "repro_ldp_reconnect_attempts_total",
+            "LDP session reconnection attempts per peer pair",
+            ("node", "peer"),
+        )
+        self.scrub_repairs = r.counter(
+            "repro_ib_scrub_repairs_total",
+            "Corrupted information-base pairs repaired by scrubbing",
+            ("node",),
+        )
         self.model_evals = r.counter(
             "repro_model_evaluations_total",
             "Analytic cost-model evaluations, by model",

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.control.ldp_sessions import MessageLDPProcess, MsgType
+from repro.mpls.errors import NoRouteError
 from repro.mpls.fec import PrefixFEC
 from repro.mpls.label import LabelOp
 from repro.mpls.router import LSRNode, RouterRole
@@ -137,6 +138,107 @@ class TestWithdrawal:
         scheduler.run(until=3.0)
         # no stale FTN state survives at the ingress
         assert len(nodes["ler-a"].ftn) == 0
+
+
+class TestSessionLoss:
+    """Regression: a dropped session used to leave every upstream
+    router holding stale label mappings through the dead peer (and a
+    withdrawal could cascade around the whole network tearing down
+    healthy state).  Session loss must withdraw exactly the mappings
+    that depended on the lost peer, then recover via the
+    exponential-backoff reconnect."""
+
+    def _converged_env(self):
+        topo, nodes, scheduler, ldp = _env()
+        ldp.start()
+        scheduler.run(until=1.0)
+        ldp.announce_fec("f1", PrefixFEC("10.2.0.0/16"), egress="ler-b")
+        scheduler.run(until=2.0)
+        assert ldp.converged("f1")
+        return topo, nodes, scheduler, ldp
+
+    def _path_of(self, nodes, ldp):
+        """(first hop, second hop) of ler-a's installed path."""
+        packet = IPv4Packet(src="10.1.0.5", dst="10.2.0.9")
+        _, nhlfe = nodes["ler-a"].ftn.lookup(packet)
+        first = nhlfe.next_hop
+        speaker = ldp.speakers[first]
+        label = speaker.local_labels["f1"]
+        second = nodes[first].ilm.lookup(label).next_hop
+        return first, second
+
+    def test_drop_withdraws_dependent_mappings(self):
+        topo, nodes, scheduler, ldp = self._converged_env()
+        first, second = self._path_of(nodes, ldp)
+        before = ldp.message_counts[MsgType.LABEL_WITHDRAW]
+        ldp.drop_session(first, second)
+        # look before the first reconnect attempt (50 ms backoff)
+        scheduler.run(until=scheduler.now + 0.02)
+        # the transit router withdrew its mapping through the dead peer
+        assert "f1" not in ldp.speakers[first].local_labels
+        assert ldp.message_counts[MsgType.LABEL_WITHDRAW] > before
+        # ... and the ingress no longer pushes into the black hole
+        packet = IPv4Packet(src="10.1.0.5", dst="10.2.0.9")
+        try:
+            _, nhlfe = nodes["ler-a"].ftn.lookup(packet)
+        except NoRouteError:
+            pass  # the FTN entry was withdrawn entirely
+        else:
+            assert nhlfe.next_hop != first
+
+    def test_drop_does_not_cascade_past_dependents(self):
+        """Regression for the withdrawal cascade: routers whose state
+        does not traverse the lost session must keep it."""
+        topo, nodes, scheduler, ldp = self._converged_env()
+        first, second = self._path_of(nodes, ldp)
+        egress_label = ldp.speakers["ler-b"].local_labels["f1"]
+        ldp.drop_session(first, second)
+        scheduler.run(until=scheduler.now + 0.02)
+        # the egress's origination is untouched
+        assert ldp.speakers["ler-b"].local_labels["f1"] == egress_label
+        assert nodes["ler-b"].ilm.lookup(egress_label).op is LabelOp.POP
+
+    def test_reconnect_restores_convergence(self):
+        topo, nodes, scheduler, ldp = self._converged_env()
+        first, second = self._path_of(nodes, ldp)
+        ldp.drop_session(first, second)
+        scheduler.run(until=scheduler.now + 1.5)
+        assert ldp.sessions_recovered, "session never re-established"
+        _, _, _, downtime = ldp.sessions_recovered[0]
+        assert downtime < 0.5
+        assert ldp.converged("f1")
+        packet = IPv4Packet(src="10.1.0.5", dst="10.2.0.9")
+        assert nodes["ler-a"].ftn.lookup(packet) is not None
+
+    def test_bindings_from_lost_peer_purged(self):
+        topo, nodes, scheduler, ldp = self._converged_env()
+        first, second = self._path_of(nodes, ldp)
+        assert second in ldp.speakers[first].bindings.get("f1", {})
+        ldp.drop_session(first, second)
+        assert second not in ldp.speakers[first].bindings.get("f1", {})
+        assert first not in ldp.speakers[second].bindings.get("f1", {})
+
+    def test_reconnect_gives_up_when_link_stays_gone(self):
+        topo, nodes, scheduler, _ = self._converged_env()
+        ldp2 = MessageLDPProcess(
+            topo, nodes, scheduler,
+            retry_initial=1e-3, max_retries=3,
+        )
+        # sessions live in the speakers; fake one for the pair, then
+        # remove the adjacency so reconnection can never succeed
+        ldp2.speakers["lsr-1"].sessions.add("lsr-2")
+        ldp2.speakers["lsr-2"].sessions.add("lsr-1")
+        topo.remove_link("lsr-1", "lsr-2")
+        try:
+            ldp2.drop_session("lsr-1", "lsr-2")
+            scheduler.run(until=scheduler.now + 5.0)
+            assert ldp2.reconnects_abandoned == 1
+            assert ldp2.reconnect_attempts == 3
+            assert not ldp2.sessions_recovered
+        finally:
+            from repro.net.topology import LinkAttributes
+
+            topo.restore_link("lsr-1", "lsr-2", LinkAttributes())
 
 
 class TestDataPlaneAfterConvergence:

@@ -1,0 +1,198 @@
+"""Scenario parsing, validation, and deterministic schedule expansion."""
+
+import json
+
+import pytest
+
+from repro.faults.scenario import (
+    FaultKind,
+    FaultSpec,
+    RandomFaultSpec,
+    Scenario,
+    ScenarioError,
+)
+
+
+def _minimal(**overrides):
+    doc = {
+        "name": "t",
+        "topology": {"kind": "paper_figure1"},
+        "traffic": [
+            {
+                "ingress": "ler-a",
+                "egress": "ler-b",
+                "prefix": "10.2.0.0/16",
+                "src": "10.1.0.5",
+                "dst": "10.2.0.9",
+            }
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestFaultSpec:
+    def test_link_kind_needs_two_targets(self):
+        with pytest.raises(ScenarioError):
+            FaultSpec(kind=FaultKind.LINK_DOWN, at=0.1, target=("a",))
+
+    def test_node_kind_needs_one_target(self):
+        with pytest.raises(ScenarioError):
+            FaultSpec(
+                kind=FaultKind.NODE_CRASH, at=0.1, target=("a", "b")
+            )
+
+    def test_heal_must_follow_inject(self):
+        with pytest.raises(ScenarioError):
+            FaultSpec(
+                kind=FaultKind.NODE_CRASH,
+                at=0.5,
+                target=("a",),
+                heal_at=0.5,
+            )
+
+    def test_roundtrip_through_dict(self):
+        spec = FaultSpec.from_dict(
+            {
+                "kind": "link-loss",
+                "at": 0.2,
+                "target": ["a", "b"],
+                "heal_at": 0.4,
+                "rate": 0.25,
+            }
+        )
+        assert spec.kind is FaultKind.LINK_LOSS
+        assert spec.params["rate"] == 0.25
+        again = FaultSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScenarioError):
+            FaultSpec.from_dict(
+                {"kind": "gamma-ray", "at": 0.1, "target": ["a"]}
+            )
+
+
+class TestScenarioParsing:
+    def test_minimal_document(self):
+        scenario = Scenario.from_dict(_minimal())
+        assert scenario.control == "ldp"
+        assert scenario.duration == 1.0
+        topo, roles = scenario.build_topology()
+        assert set(roles) == {"ler-a", "ler-b"}
+        assert "lsr-1" in topo.nodes
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario.from_json("{not json")
+
+    def test_needs_traffic(self):
+        with pytest.raises(ScenarioError):
+            Scenario.from_dict(_minimal(traffic=[]))
+
+    def test_frr_needs_protection(self):
+        with pytest.raises(ScenarioError):
+            Scenario.from_dict(_minimal(control="frr"))
+
+    def test_unknown_control_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario.from_dict(_minimal(control="ospf"))
+
+    def test_unknown_topology_kind_rejected(self):
+        scenario = Scenario.from_dict(
+            _minimal(topology={"kind": "hypercube"})
+        )
+        with pytest.raises(ScenarioError):
+            scenario.build_topology()
+
+    def test_edge_must_exist(self):
+        scenario = Scenario.from_dict(_minimal(edges=["nope"]))
+        with pytest.raises(ScenarioError):
+            scenario.build_topology()
+
+    def test_ring_edges_default_to_traffic_endpoints(self):
+        doc = _minimal(topology={"kind": "ring", "n": 4})
+        doc["traffic"][0]["ingress"] = "n0"
+        doc["traffic"][0]["egress"] = "n2"
+        scenario = Scenario.from_dict(doc)
+        _, roles = scenario.build_topology()
+        assert set(roles) == {"n0", "n2"}
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "scn.json"
+        path.write_text(json.dumps(_minimal()))
+        assert Scenario.load(str(path)).name == "t"
+
+
+class TestFlapExpansion:
+    def test_flap_becomes_down_up_cycles(self):
+        doc = _minimal(
+            faults=[
+                {
+                    "at": 0.1,
+                    "kind": "link-flap",
+                    "target": ["lsr-1", "lsr-2"],
+                    "flaps": 3,
+                    "period": 0.05,
+                }
+            ]
+        )
+        schedule = Scenario.from_dict(doc).materialize(seed=0)
+        assert len(schedule) == 3
+        assert all(s.kind is FaultKind.LINK_DOWN for s in schedule)
+        assert [s.at for s in schedule] == [0.1, 0.15, 0.2]
+        for s in schedule:
+            assert s.heal_at == pytest.approx(s.at + 0.025)
+
+
+class TestRandomSchedule:
+    def _scenario(self, count=8, seed_window=(0.1, 0.8)):
+        return Scenario.from_dict(
+            _minimal(
+                duration=1.0,
+                random_faults={
+                    "count": count,
+                    "kinds": ["link-down", "link-loss"],
+                    "window": list(seed_window),
+                    "mean_outage": 0.05,
+                },
+            )
+        )
+
+    def test_same_seed_same_schedule(self):
+        scenario = self._scenario()
+        assert scenario.materialize(7) == scenario.materialize(7)
+
+    def test_different_seeds_differ(self):
+        scenario = self._scenario()
+        schedules = {
+            tuple(
+                (s.kind, s.at, s.target) for s in scenario.materialize(seed)
+            )
+            for seed in range(5)
+        }
+        assert len(schedules) == 5, "five seeds produced colliding schedules"
+
+    def test_no_overlapping_outages_per_target(self):
+        scenario = self._scenario(count=12)
+        for seed in (1, 2, 3):
+            by_target = {}
+            for spec in scenario.materialize(seed):
+                by_target.setdefault(spec.target, []).append(
+                    (spec.at, spec.heal_at)
+                )
+            for intervals in by_target.values():
+                intervals.sort()
+                for (_, h1), (a2, _) in zip(intervals, intervals[1:]):
+                    assert a2 >= h1
+
+    def test_targets_are_real_links(self):
+        scenario = self._scenario()
+        topo, _ = scenario.build_topology()
+        for spec in scenario.materialize(3):
+            a, b = spec.target
+            assert topo.has_link(a, b)
+
+    def test_random_spec_validation(self):
+        with pytest.raises(ScenarioError):
+            RandomFaultSpec.from_dict({"window": [0.5, 0.5]})
