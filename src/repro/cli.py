@@ -289,6 +289,7 @@ def cmd_chaos(
     scenario_path: Optional[str],
     seed: int = 0,
     output: Optional[str] = None,
+    audit: Optional[float] = None,
 ) -> int:
     """Run a fault-injection scenario file and print its report.
 
@@ -310,6 +311,10 @@ def cmd_chaos(
     except ScenarioError as exc:
         print(f"error: bad scenario: {exc}", file=sys.stderr)
         return 1
+    if audit is not None:
+        # the flag arms (or re-periods) the consistency auditor even
+        # when the scenario file doesn't ask for it
+        scenario.audit = {**(scenario.audit or {}), "period": audit}
     try:
         with telemetry_session():
             report = run_scenario(scenario, seed=seed)
@@ -380,13 +385,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="trace/chaos: write the JSONL event stream / JSON report "
         "to FILE instead of stdout",
     )
+    parser.add_argument(
+        "--audit",
+        metavar="PERIOD",
+        type=float,
+        default=None,
+        help="chaos only: run the data-plane consistency auditor every "
+        "PERIOD simulated seconds (overrides the scenario's own "
+        "'audit' key)",
+    )
     args = parser.parse_args(argv)
     if args.command == "stats":
         return cmd_stats()
     if args.command == "trace":
         return cmd_trace(args.output)
     if args.command == "chaos":
-        return cmd_chaos(args.scenario, seed=args.seed, output=args.output)
+        return cmd_chaos(
+            args.scenario,
+            seed=args.seed,
+            output=args.output,
+            audit=args.audit,
+        )
     if args.command == "all":
         worst = 0
         for name, fn in COMMANDS.items():

@@ -18,7 +18,7 @@ functionality would program into the hardware information base.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.control.labels import LabelAllocator
 from repro.control.routing import LinkStateDatabase
@@ -26,6 +26,7 @@ from repro.mpls.fec import FEC
 from repro.mpls.label import IMPLICIT_NULL, LabelOp
 from repro.mpls.nhlfe import NHLFE
 from repro.mpls.router import LSRNode
+from repro.mpls.transaction import TableTransaction
 from repro.net.topology import Topology
 from repro.obs.events import LabelMappingInstalled
 from repro.obs.telemetry import get_telemetry
@@ -67,6 +68,11 @@ class LDPProcess:
         #: crashed routers: no state is installed at (or via) them until
         #: they restart and a :meth:`reconverge` reprograms the network
         self.down_nodes: Set[str] = set()
+        #: routers in graceful restart: the control plane is down but
+        #: the data plane keeps forwarding on stale-marked tables
+        #: (RFC 3478 non-stop forwarding); label distribution skips
+        #: them until :meth:`complete_graceful_restart`
+        self.restarting: Set[str] = set()
 
     def establish_fec(
         self,
@@ -83,7 +89,11 @@ class LDPProcess:
         if egress not in self.nodes:
             raise KeyError(f"unknown egress {egress!r}")
         binding = FECBinding(fec=fec, egress=egress, php=php)
-        live = [n for n in self.nodes if n not in self.down_nodes]
+        # a restarting router cannot advertise or accept mappings, so
+        # new bindings are distributed as if it were absent; its
+        # pre-crash entries keep forwarding until refresh or flush
+        unavailable = self.down_nodes | self.restarting
+        live = [n for n in self.nodes if n not in unavailable]
 
         # 1. label allocation (downstream unsolicited advertisement)
         for name in live:
@@ -127,9 +137,7 @@ class LDPProcess:
             else [
                 name
                 for name, node in self.nodes.items()
-                if node.is_edge
-                and name != egress
-                and name not in self.down_nodes
+                if node.is_edge and name != egress and name not in unavailable
             ]
         )
         for name in targets:
@@ -170,13 +178,22 @@ class LDPProcess:
         egress_label = binding.labels.get(binding.egress)
         if not binding.php and egress_label is not None:
             # the entry may already be gone if the egress crashed and
-            # restarted cold -- withdrawal must stay idempotent
-            if egress_label in self.nodes[binding.egress].ilm:
-                self.nodes[binding.egress].ilm.remove(egress_label)
+            # restarted cold -- withdrawal must stay idempotent.  A
+            # restarting router cannot process the withdraw: its entry
+            # stays in place (stale) until refreshed or flushed.
+            if binding.egress not in self.restarting:
+                try:
+                    self.nodes[binding.egress].ilm.remove(egress_label)
+                except KeyError:
+                    pass
         for name in binding.next_hops:
+            if name in self.restarting:
+                continue
             node = self.nodes[name]
-            if binding.labels[name] in node.ilm:
+            try:
                 node.ilm.remove(binding.labels[name])
+            except KeyError:
+                pass
             try:
                 node.ftn.remove(binding.fec)
             except KeyError:
@@ -188,9 +205,63 @@ class LDPProcess:
 
     def reconverge(self) -> None:
         """Recompute every binding after a topology change (the model's
-        equivalent of LDP reacting to an IGP reconvergence)."""
-        old = list(self.bindings)
-        for binding in old:
-            fec, egress, php = binding.fec, binding.egress, binding.php
-            self.withdraw_fec(binding)
-            self.establish_fec(fec, egress, php)
+        equivalent of LDP reacting to an IGP reconvergence).
+
+        The whole recomputation runs as one shadow-bank transaction
+        across every (non-restarting) router's ILM/FTN: the data plane
+        keeps forwarding on the pre-reconvergence tables until every
+        binding has been re-derived, then all tables swap banks
+        atomically.  No packet ever observes a half-programmed network,
+        and a crash mid-reconvergence rolls the staging banks back.
+        """
+        tables = []
+        for name in sorted(self.nodes):
+            if name in self.restarting:
+                continue
+            node = self.nodes[name]
+            tables.extend((node.ilm, node.ftn))
+        with TableTransaction(tables):
+            old = list(self.bindings)
+            for binding in old:
+                fec, egress, php = binding.fec, binding.egress, binding.php
+                self.withdraw_fec(binding)
+                self.establish_fec(fec, egress, php)
+
+    # -- graceful restart (RFC 3478 semantics) -----------------------
+
+    def begin_graceful_restart(self, name: str) -> Tuple[int, int]:
+        """Warm control-plane crash at ``name``: non-stop forwarding.
+
+        The data plane keeps forwarding; every surviving ILM/FTN entry
+        is stale-marked; an open transaction rolls back (the staging
+        bank dies with the software).  Until
+        :meth:`complete_graceful_restart` the router can neither
+        advertise nor process label mappings.  Returns the number of
+        (ILM, FTN) entries stale-marked.
+        """
+        if name not in self.nodes:
+            raise KeyError(f"unknown node {name!r}")
+        node = self.nodes[name]
+        if node.ilm.in_transaction:
+            node.ilm.rollback()
+        if node.ftn.in_transaction:
+            node.ftn.rollback()
+        self.restarting.add(name)
+        return node.ilm.mark_all_stale(), node.ftn.mark_all_stale()
+
+    def complete_graceful_restart(self, name: str) -> Tuple[int, int]:
+        """The control plane at ``name`` is back (restart flag set).
+
+        The router re-joins label distribution and the network
+        reconverges; because label allocation is deterministic and the
+        allocators' bookkeeping survives (the restarting LSR recovers
+        its bindings from the preserved forwarding state, as RFC 3478
+        describes), still-valid entries are rewritten with the same
+        labels -- refreshed in place, clearing their stale marks.
+        Returns the number of (ILM, FTN) entries *still* stale after
+        the refresh: dead state the hold-timer flush will remove.
+        """
+        self.restarting.discard(name)
+        self.reconverge()
+        node = self.nodes[name]
+        return len(node.ilm.stale_labels()), len(node.ftn.stale_fecs())

@@ -88,6 +88,10 @@ class LDPSpeaker:
         self.bindings: Dict[str, Dict[str, int]] = {}
         #: fec_id -> label we advertised
         self.local_labels: Dict[str, int] = {}
+        #: True while the control plane is down in a graceful restart:
+        #: incoming messages hit a dead process and are ignored, but
+        #: the node's data plane keeps forwarding on stale-marked state
+        self.restarting = False
 
     # -- discovery / session ------------------------------------------------
     def start(self) -> None:
@@ -97,6 +101,8 @@ class LDPSpeaker:
             )
 
     def handle(self, msg: LDPMessage) -> None:
+        if self.restarting:
+            return  # control plane down: nobody home to process this
         if msg.kind is MsgType.HELLO:
             self._on_hello(msg)
         elif msg.kind is MsgType.INIT:
@@ -188,8 +194,13 @@ class LDPSpeaker:
         if state is None or state.withdrawn:
             return
         self.bindings.setdefault(fec_id, {})[msg.src] = msg.label
-        if self.name == state.egress or fec_id in self.local_labels:
-            return  # already installed / we are the egress
+        if self.name == state.egress:
+            return  # an egress's origination depends on nobody
+        if fec_id in self.local_labels:
+            # already installed: a re-advertisement can still refresh a
+            # stale entry in place (RFC 3478 graceful restart)
+            self._refresh_from(fec_id, msg.src, msg.label)
+            return
         next_hop = self._next_hop_to_egress(state.egress)
         if next_hop != msg.src:
             return  # liberal retention: keep the binding, do not use it
@@ -214,6 +225,41 @@ class LDPSpeaker:
         state.installed_at[self.name] = self.process.scheduler.now
         self._note_install(fec_id, label, next_hop=peer)
         self._advertise(fec_id)
+
+    def _refresh_from(self, fec_id: str, peer: str, label_in: int) -> None:
+        """Refresh-in-place for graceful restart (RFC 3478).
+
+        We already hold forwarding state for this FEC; if our installed
+        path goes via ``peer`` (and SPF agrees) and the entry is either
+        stale-marked or carries an outdated outgoing label, rewrite it
+        in place -- same local label, stale mark cleared.  Entries that
+        are current and not stale are left untouched, so ordinary
+        duplicate advertisements remain no-ops.
+        """
+        state = self.process.fecs[fec_id]
+        label = self.local_labels[fec_id]
+        nhlfe = self.node.ilm.get(label)
+        if nhlfe is None or nhlfe.next_hop != peer:
+            return
+        if self._next_hop_to_egress(state.egress) != peer:
+            return
+        if self.node.ilm.is_stale(label) or nhlfe.out_label != label_in:
+            self.node.ilm.install(
+                label,
+                NHLFE(op=LabelOp.SWAP, out_label=label_in, next_hop=peer),
+            )
+        if self.node.is_edge:
+            ftn_nhlfe = next(
+                (n for f, n in self.node.ftn if f == state.fec), None
+            )
+            if ftn_nhlfe is not None and ftn_nhlfe.next_hop == peer and (
+                self.node.ftn.is_stale(state.fec)
+                or ftn_nhlfe.out_label != label_in
+            ):
+                self.node.ftn.install(
+                    state.fec,
+                    NHLFE(op=LabelOp.PUSH, out_label=label_in, next_hop=peer),
+                )
 
     def _withdraw_local(
         self, fec_id: str, exclude: Optional[str] = None
@@ -456,6 +502,85 @@ class MessageLDPProcess:
             self.retry_initial * (2.0 ** attempt), self.retry_max
         )
         self.scheduler.after(delay, lambda: self._try_reconnect(key))
+
+    # -- graceful restart (RFC 3478 semantics) ------------------------------
+    def begin_graceful_restart(self, name: str) -> Tuple[int, int]:
+        """Warm control-plane crash at ``name``: non-stop forwarding.
+
+        The speaker's control plane dies (incoming messages are
+        ignored; protocol state is lost except the label bindings it
+        recovers from the preserved forwarding tables, per RFC 3478)
+        while its data plane keeps forwarding on stale-marked ILM/FTN
+        entries.  Sessions to its peers go down *gracefully*: because
+        the restarting speaker advertised the fault-tolerant restart
+        capability, helpers keep the bindings and forwarding state
+        learned from it, merely stale-marking the entries routed via
+        the restarting node instead of withdrawing them.  Returns the
+        number of (ILM, FTN) entries stale-marked at ``name``.
+        """
+        speaker = self.speakers[name]
+        node = speaker.node
+        # the staging bank dies with the software
+        if node.ilm.in_transaction:
+            node.ilm.rollback()
+        if node.ftn.in_transaction:
+            node.ftn.rollback()
+        marked = (node.ilm.mark_all_stale(), node.ftn.mark_all_stale())
+        speaker.restarting = True
+        tel = get_telemetry()
+        for peer_name in sorted(speaker.sessions):
+            peer = self.speakers[peer_name]
+            peer.sessions.discard(name)
+            peer.heard.discard(name)
+            # helper behaviour: keep state, stale-mark entries via name
+            for fec_id, label in peer.local_labels.items():
+                nhlfe = peer.node.ilm.get(label)
+                if nhlfe is not None and nhlfe.next_hop == name:
+                    peer.node.ilm.mark_stale(label)
+                    state = self.fecs.get(fec_id)
+                    if state is not None:
+                        ftn_nhlfe = next(
+                            (n for f, n in peer.node.ftn if f == state.fec),
+                            None,
+                        )
+                        if (
+                            ftn_nhlfe is not None
+                            and ftn_nhlfe.next_hop == name
+                        ):
+                            peer.node.ftn.mark_stale(state.fec)
+            if tel.enabled:
+                for x, y in ((name, peer_name), (peer_name, name)):
+                    event = SessionStateChange(node=x, peer=y, state="down")
+                    event.time = self.scheduler.now
+                    tel.events.emit(event)
+                tel.ldp_sessions.dec()
+        speaker.sessions.clear()
+        speaker.heard.clear()
+        return marked
+
+    def complete_graceful_restart(self, name: str) -> None:
+        """The control plane at ``name`` is back, restart flag set.
+
+        Its egress originations are refreshed in place from the
+        recovered bindings, then discovery re-runs on every adjacency;
+        as sessions re-form, both sides re-advertise their mappings and
+        the :meth:`LDPSpeaker._refresh_from` path clears the stale
+        marks without ever touching the labels packets are switched on.
+        Entries never refreshed stay stale until the injector's
+        hold-timer flush removes them.
+        """
+        speaker = self.speakers[name]
+        speaker.restarting = False
+        for fec_id, state in self.fecs.items():
+            if state.egress != name or state.withdrawn:
+                continue
+            label = speaker.local_labels.get(fec_id)
+            if label is not None and speaker.node.ilm.is_stale(label):
+                speaker.node.ilm.install(label, NHLFE(op=LabelOp.POP))
+        # re-run discovery in both directions, as reconnection does
+        for neighbor in sorted(self.topology.neighbors(name)):
+            self.send(LDPMessage(MsgType.HELLO, name, neighbor))
+            self.send(LDPMessage(MsgType.HELLO, neighbor, name))
 
     # -- operations --------------------------------------------------------
     def start(self) -> None:

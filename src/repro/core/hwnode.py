@@ -83,24 +83,38 @@ class HardwareLSRNode(LSRNode):
 
     # -- information-base synchronization ---------------------------------
     def _sync_info_base(self) -> None:
+        """Reprogram the information base through the double-buffered
+        bank path: the new table is assembled in the shadow bank (3
+        cycles per pair, same write port as WRITE_PAIR) while packets
+        keep hitting the active bank, then swapped in atomically in a
+        single cycle.  No packet ever observes a half-programmed
+        information base, and an exception mid-assembly leaves the
+        active bank untouched (the shadow bank rolls back).
+        """
         if self.ilm.generation == self._mirrored_ilm_generation:
             return
-        cycles = self.modifier.reset()
+        self.modifier.bank_begin()
+        cycles = 0
+        try:
+            for label, nhlfe in self.ilm:
+                out_label = nhlfe.out_label
+                op = nhlfe.op
+                if op is LabelOp.POP:
+                    stored_label, stored_op = 16, LabelOp.POP
+                elif op in (LabelOp.SWAP, LabelOp.PUSH):
+                    stored_label, stored_op = out_label, op
+                else:
+                    continue  # NOOP entries stay software-only
+                # a label can arrive at any stack depth: mirror per level
+                for level in (1, 2, 3):
+                    cycles += self.modifier.bank_write_pair(
+                        level, label, stored_label, stored_op
+                    )
+        except Exception:
+            self.modifier.bank_rollback()
+            raise
+        cycles += self.modifier.bank_commit()
         self._flow_cache.clear()
-        for label, nhlfe in self.ilm:
-            out_label = nhlfe.out_label
-            op = nhlfe.op
-            if op is LabelOp.POP:
-                stored_label, stored_op = 16, LabelOp.POP
-            elif op in (LabelOp.SWAP, LabelOp.PUSH):
-                stored_label, stored_op = out_label, op
-            else:
-                continue  # NOOP entries stay software-only
-            # a label can arrive at any stack depth: mirror per level
-            for level in (1, 2, 3):
-                cycles += self.modifier.write_pair(
-                    level, label, stored_label, stored_op
-                )
         self.modifier.set_router_type(self.role is RouterRole.LSR)
         self._mirrored_ilm_generation = self.ilm.generation
         # whatever level 1 doesn't hold for the ILM is flow-cache space

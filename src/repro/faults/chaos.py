@@ -12,7 +12,12 @@ the scenario's horizon, and distils the outcome into a
 * packets lost before vs. after the last recovery (did the network
   actually become whole again?),
 * per-fault MTTR, LDP session-recovery statistics and info-base scrub
-  totals.
+  totals,
+* graceful-restart outcomes (stale-marked/refreshed/flushed entries,
+  stale-forwarding duration, per-flow loss) and consistency-audit
+  totals -- present only when the scenario uses ``node-restart``
+  faults or the ``audit`` key, so reports without them stay
+  byte-identical to earlier versions.
 
 Everything in the report derives from simulated time and seeded
 randomness -- the same (scenario, seed) pair yields a byte-identical
@@ -54,6 +59,7 @@ class ChaosRun:
     message_ldp: Any = None
     frr: Any = None
     schedule: List[Any] = field(default_factory=list)
+    auditor: Any = None
 
 
 def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
@@ -137,6 +143,21 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         seed=seed,
     )
     schedule = injector.apply(scenario, seed)
+    auditor = None
+    if scenario.audit is not None:
+        from repro.faults.auditor import ConsistencyAuditor
+
+        cfg = dict(scenario.audit)
+        auditor = ConsistencyAuditor(
+            network,
+            period=float(cfg.get("period", 0.1)),
+            start=(
+                float(cfg["start"]) if cfg.get("start") is not None
+                else None
+            ),
+            stop=scenario.duration,
+            repair=bool(cfg.get("repair", True)),
+        )
     return ChaosRun(
         scenario=scenario,
         seed=seed,
@@ -147,6 +168,7 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         message_ldp=message_ldp,
         frr=frr,
         schedule=schedule,
+        auditor=auditor,
     )
 
 
@@ -289,6 +311,78 @@ def summarize(run: ChaosRun, processed: int, sink=None) -> ChaosReport:
             "mean_downtime_s": _round(sum(downtimes) / len(downtimes))
             if downtimes
             else None,
+        }
+    if injector.restarts:
+        restarts = []
+        for restart in injector.restarts:
+            window_end = (
+                restart.resumed_at
+                if restart.resumed_at is not None
+                else run.scenario.duration
+            )
+            drops_at_node = sum(
+                1
+                for drop in network.drops
+                if drop.node == restart.node
+                and restart.began_at <= drop.time <= window_end
+            )
+            restarts.append(
+                {
+                    "node": restart.node,
+                    "began_at": _round(restart.began_at),
+                    "resumed_at": _round(restart.resumed_at),
+                    "hold_time_s": _round(restart.hold_time),
+                    "hold_expired_at": _round(restart.hold_expired_at),
+                    "stale_marked": {
+                        "ilm": restart.ilm_stale_marked,
+                        "ftn": restart.ftn_stale_marked,
+                    },
+                    "refreshed": {
+                        "ilm": restart.ilm_stale_marked
+                        - restart.ilm_flushed,
+                        "ftn": restart.ftn_stale_marked
+                        - restart.ftn_flushed,
+                    },
+                    "flushed": {
+                        "ilm": restart.ilm_flushed,
+                        "ftn": restart.ftn_flushed,
+                    },
+                    "stale_forwarding_s": _round(
+                        restart.stale_forwarding_s
+                    ),
+                    "drops_at_node_during_restart": drops_at_node,
+                }
+            )
+        report["graceful_restart"] = {
+            "restarts": restarts,
+            # per-flow outcome, keyed by the scenario's flow index --
+            # a flow that never traverses a warm-restarting node must
+            # show zero loss
+            "flows": [
+                {
+                    "index": i,
+                    "ingress": flow.ingress,
+                    "egress": flow.egress,
+                    "sent": source.sent,
+                    "delivered": network.delivered_count(source.flow_id),
+                    "lost": source.sent
+                    - network.delivered_count(source.flow_id),
+                }
+                for i, (flow, source) in enumerate(
+                    zip(run.scenario.traffic, run.sources)
+                )
+            ],
+        }
+    if run.auditor is not None:
+        passes, checked, drift, repaired, alarms = run.auditor.summary()
+        report["audit"] = {
+            "passes": passes,
+            "nodes_checked": checked,
+            "drift_detected": drift,
+            "repaired": repaired,
+            "repair_cycles": run.auditor.repair_cycles,
+            "watchdog_alarms": alarms,
+            "clean": run.auditor.clean,
         }
     if injector.scrub_reports:
         report["scrub"] = {

@@ -23,7 +23,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.faults.scenario import FaultKind, FaultSpec, Scenario, ScenarioError
 from repro.net.packet import MPLSPacket
-from repro.obs.events import FaultHealed, FaultInjected
+from repro.obs.events import FaultHealed, FaultInjected, StaleEntriesFlushed
 from repro.obs.telemetry import get_telemetry
 
 
@@ -46,6 +46,45 @@ class FaultRecord:
         if self.recovered_at is None:
             return None
         return self.recovered_at - self.injected_at
+
+
+@dataclass
+class RestartRecord:
+    """One graceful (warm) restart: the RFC 3478-style lifecycle.
+
+    The control plane at ``node`` went away at ``began_at`` and its
+    forwarding state was preserved and stale-marked; it resumed at
+    ``resumed_at`` (refreshing still-valid entries in place), and the
+    forwarding-state holding timer expired at ``hold_expired_at``,
+    flushing whatever was never refreshed.
+    """
+
+    node: str
+    began_at: float
+    hold_time: float
+    ilm_stale_marked: int = 0
+    ftn_stale_marked: int = 0
+    resumed_at: Optional[float] = None
+    #: entries still stale right after the post-restart reconvergence
+    #: (converged LDP only; message LDP refreshes over simulated time)
+    ilm_still_stale: Optional[int] = None
+    ftn_still_stale: Optional[int] = None
+    hold_expired_at: Optional[float] = None
+    ilm_flushed: int = 0
+    ftn_flushed: int = 0
+
+    @property
+    def stale_forwarding_s(self) -> Optional[float]:
+        """How long packets were switched on stale-marked entries:
+        until the resume refreshed everything, or until the hold timer
+        flushed what the refresh never reclaimed."""
+        if self.resumed_at is not None and not (
+            self.ilm_flushed or self.ftn_flushed
+        ):
+            return self.resumed_at - self.began_at
+        if self.hold_expired_at is not None:
+            return self.hold_expired_at - self.began_at
+        return None
 
 
 @dataclass
@@ -105,6 +144,8 @@ class FaultInjector:
         self.detection_delay_s = detection_delay_s
         self.rng = random.Random((seed << 4) ^ 0xB17F11B)
         self.records: List[FaultRecord] = []
+        self.restarts: List[RestartRecord] = []
+        self._restarting: Dict[str, RestartRecord] = {}
         self.switchovers: List[SwitchoverRecord] = []
         self.reverts: List[Tuple[float, str]] = []
         self.scrub_reports: List[Any] = []
@@ -133,6 +174,15 @@ class FaultInjector:
             raise ScenarioError(
                 "ldp-session-drop needs control = 'ldp-messages'"
             )
+        if (
+            spec.kind is FaultKind.NODE_RESTART
+            and self.ldp is None
+            and self.message_ldp is None
+        ):
+            raise ScenarioError(
+                "node-restart (graceful restart) needs control = "
+                "'ldp' or 'ldp-messages'"
+            )
         if spec.kind is FaultKind.IB_BITFLIP:
             node = self.network.nodes[spec.target[0]]
             if not hasattr(node, "modifier"):
@@ -159,6 +209,7 @@ class FaultInjector:
             FaultKind.LINK_LOSS: self._inject_link_loss,
             FaultKind.LINK_CORRUPT: self._inject_link_corrupt,
             FaultKind.NODE_CRASH: self._inject_node_crash,
+            FaultKind.NODE_RESTART: self._inject_node_restart,
             FaultKind.LDP_SESSION_DROP: self._inject_session_drop,
             FaultKind.IB_BITFLIP: self._inject_bitflip,
         }[spec.kind]
@@ -183,6 +234,7 @@ class FaultInjector:
             FaultKind.LINK_LOSS: self._heal_link_loss,
             FaultKind.LINK_CORRUPT: self._heal_link_corrupt,
             FaultKind.NODE_CRASH: self._heal_node_crash,
+            FaultKind.NODE_RESTART: self._heal_node_restart,
             FaultKind.LDP_SESSION_DROP: self._heal_noop,
             FaultKind.IB_BITFLIP: self._heal_bitflip,
         }[spec.kind](record)
@@ -350,34 +402,123 @@ class FaultInjector:
 
     def _heal_node_crash(self, record: FaultRecord) -> None:
         name = record.spec.target[0]
-        self.network.restore_node(name)
+        # restore_node reports the links it actually brought back: a
+        # link shared with a still-crashed neighbour stays down and is
+        # restored by that neighbour's own restart, so it must not be
+        # marked up (or announced to FRR) here
+        restored = self.network.restore_node(name)
         self._mark_node(name, up=True)
-        for a, b in self._restored_links(name):
+        for a, b in restored:
             self._mark_link(a, b, up=True)
         if self.ldp is not None:
             self.ldp.down_nodes.discard(name)
         self.scheduler.after(
             self.detection_delay_s,
-            lambda: self._restart_detected(name, record),
+            lambda: self._restart_detected(name, restored, record),
         )
 
-    def _restored_links(self, name: str) -> List[Tuple[str, str]]:
-        return [
-            (a, b)
-            for (a, b) in self.network.links
-            if name in (a, b)
-        ]
-
-    def _restart_detected(self, name: str, record: FaultRecord) -> None:
+    def _restart_detected(
+        self,
+        name: str,
+        restored: List[Tuple[str, str]],
+        record: FaultRecord,
+    ) -> None:
         if self.ldp is not None:
             # the cold restart cleared the node's tables; reconvergence
             # re-programs them (and everyone routing through the node)
             self.ldp.reconverge()
         if self.frr is not None:
-            for a, b in self._restored_links(name):
+            for a, b in restored:
                 for path in self.frr.handle_link_recovery(a, b):
                     self.reverts.append((self.scheduler.now, path))
         self._recovered(record)
+
+    # -- graceful (warm) restart -------------------------------------------
+    def _inject_node_restart(self, record: FaultRecord) -> None:
+        name = record.spec.target[0]
+        if name in self.network._down_nodes or name in self._restarting:
+            record.skipped = True
+            record.detail = "node already down or restarting"
+            return
+        hold_time = float(record.spec.params.get("hold_time", 0.25))
+        if self.ldp is not None:
+            ilm_marked, ftn_marked = self.ldp.begin_graceful_restart(name)
+        else:
+            ilm_marked, ftn_marked = (
+                self.message_ldp.begin_graceful_restart(name)
+            )
+        restart = RestartRecord(
+            node=name,
+            began_at=self.scheduler.now,
+            hold_time=hold_time,
+            ilm_stale_marked=ilm_marked,
+            ftn_stale_marked=ftn_marked,
+        )
+        self.restarts.append(restart)
+        self._restarting[name] = restart
+        record.detail = (
+            f"warm restart; {ilm_marked}+{ftn_marked} entries "
+            f"stale-marked, hold timer {hold_time}s"
+        )
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.stale_entries.labels(name, "ilm").set(ilm_marked)
+            tel.stale_entries.labels(name, "ftn").set(ftn_marked)
+        self.scheduler.after(
+            hold_time, lambda: self._hold_expired(restart)
+        )
+
+    def _heal_node_restart(self, record: FaultRecord) -> None:
+        name = record.spec.target[0]
+        restart = self._restarting.pop(name, None)
+        if restart is None:
+            return
+        if self.ldp is not None:
+            still_ilm, still_ftn = self.ldp.complete_graceful_restart(name)
+            restart.ilm_still_stale = still_ilm
+            restart.ftn_still_stale = still_ftn
+            record.detail += (
+                f"; resumed, {still_ilm}+{still_ftn} entries await flush"
+            )
+        else:
+            # the message process re-discovers its peers; refreshes
+            # arrive as sessions re-form over simulated time
+            self.message_ldp.complete_graceful_restart(name)
+            record.detail += "; resumed, sessions re-forming"
+        restart.resumed_at = self.scheduler.now
+        self._recovered(record)
+
+    def _hold_expired(self, restart: RestartRecord) -> None:
+        """The forwarding-state holding timer: entries stale-marked at
+        the restart and never refreshed since are flushed now, at
+        exactly ``began_at + hold_time``."""
+        nodes = {restart.node}
+        if self.message_ldp is not None:
+            # helper peers stale-marked their entries routed via the
+            # restarting node; their hold timer is the same one
+            nodes.update(self.network.topology.neighbors(restart.node))
+        ilm_flushed = ftn_flushed = 0
+        tel = get_telemetry()
+        for name in sorted(nodes):
+            node = self.network.nodes[name]
+            labels = node.ilm.flush_stale()
+            fecs = node.ftn.flush_stale()
+            ilm_flushed += len(labels)
+            ftn_flushed += len(fecs)
+            if (labels or fecs) and tel.enabled:
+                event = StaleEntriesFlushed(
+                    node=name,
+                    ilm_flushed=len(labels),
+                    ftn_flushed=len(fecs),
+                )
+                event.time = self.scheduler.now
+                tel.events.emit(event)
+            if tel.enabled:
+                tel.stale_entries.labels(name, "ilm").set(0)
+                tel.stale_entries.labels(name, "ftn").set(0)
+        restart.hold_expired_at = self.scheduler.now
+        restart.ilm_flushed = ilm_flushed
+        restart.ftn_flushed = ftn_flushed
 
     # -- LDP session drop ---------------------------------------------------
     def _inject_session_drop(self, record: FaultRecord) -> None:

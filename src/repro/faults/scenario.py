@@ -30,8 +30,15 @@ Schema (all times in simulated seconds)::
       "faults": [{"at": 0.2, "kind": "link-down",
                   "target": ["lsr-1", "lsr-2"], "heal_at": 0.6}],
       "random_faults": {"count": 6, "kinds": ["link-down"],
-                        "window": [0.1, 0.7], "mean_outage": 0.05}
+                        "window": [0.1, 0.7], "mean_outage": 0.05},
+      "audit": {"period": 0.1, "start": 0.05}   // consistency auditor
     }
+
+``node-restart`` faults are *warm* (graceful) restarts: the target's
+control plane goes away between ``at`` and ``heal_at`` while its data
+plane keeps forwarding on stale-marked tables; the fault's ``hold_time``
+parameter (seconds after injection, default 0.25) sets the RFC 3478
+forwarding-state holding timer after which unrefreshed entries flush.
 """
 
 from __future__ import annotations
@@ -64,6 +71,7 @@ class FaultKind(str, Enum):
     LINK_LOSS = "link-loss"          #: random packet loss on a link
     LINK_CORRUPT = "link-corrupt"    #: label bit errors in transit
     NODE_CRASH = "node-crash"        #: cold crash/restart of a router
+    NODE_RESTART = "node-restart"    #: warm control-plane-only restart
     LDP_SESSION_DROP = "ldp-session-drop"  #: session reset + backoff
     IB_BITFLIP = "ib-bitflip"        #: SEU in the hardware info base
 
@@ -80,7 +88,9 @@ LINK_KINDS = frozenset(
 )
 
 #: kinds whose target is a single node
-NODE_KINDS = frozenset({FaultKind.NODE_CRASH, FaultKind.IB_BITFLIP})
+NODE_KINDS = frozenset(
+    {FaultKind.NODE_CRASH, FaultKind.NODE_RESTART, FaultKind.IB_BITFLIP}
+)
 
 
 @dataclass(frozen=True)
@@ -250,6 +260,9 @@ class Scenario:
     protection: List[Mapping[str, Any]] = field(default_factory=list)
     faults: List[FaultSpec] = field(default_factory=list)
     random_faults: Optional[RandomFaultSpec] = None
+    #: consistency-auditor configuration ({"period": s, "start": s}),
+    #: or None to run without the auditor
+    audit: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.control not in ("ldp", "ldp-messages", "frr"):
@@ -282,6 +295,9 @@ class Scenario:
             faults=faults,
             random_faults=(
                 RandomFaultSpec.from_dict(rand) if rand else None
+            ),
+            audit=(
+                dict(raw["audit"]) if raw.get("audit") is not None else None
             ),
         )
 
@@ -400,7 +416,9 @@ def _random_schedule(
             target = tuple(rng.choice(rand.targets))
         elif kind in LINK_KINDS:
             target = rng.choice(links)
-        elif kind is FaultKind.NODE_CRASH and core:
+        elif (
+            kind in (FaultKind.NODE_CRASH, FaultKind.NODE_RESTART) and core
+        ):
             target = (rng.choice(core),)
         else:  # node-scoped with no core nodes: nothing safe to break
             continue

@@ -186,6 +186,20 @@ class Reg(Signal):
         self._staged = False
         return changed
 
+    def force(self, value: int) -> None:
+        """Asynchronously load ``value``, bypassing the clock.
+
+        The hardware analogue of a parallel-load / preset pin: the
+        register adopts the value immediately and any staged next value
+        is discarded.  Used by backdoor paths that change state without
+        a clock edge (e.g. the info-base bank swap loading the write
+        counter), never by ordinary combinational logic -- that must
+        :meth:`stage`.
+        """
+        self._value = self._check(value)
+        self._next = None
+        self._staged = False
+
     def reset(self) -> None:
         super().reset()
         self._next = None

@@ -22,7 +22,7 @@ Transactions:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.hdl.signal import Wire
 from repro.hdl.simulator import Component, Simulator
@@ -38,6 +38,11 @@ from repro.mpls.label import LabelEntry, LabelOp
 
 #: Table 6's fixed reset cost.
 RESET_CYCLES = 3
+
+#: Cost of one shadow-bank write (same write port as WRITE_PAIR).
+BANK_WRITE_CYCLES = 3
+#: Cost of the atomic bank swap (one clock edge).
+BANK_SWAP_CYCLES = 1
 
 #: Safety bound on any single transaction (a full 1024-entry search is
 #: 3077 cycles; anything an order of magnitude beyond that is a hang).
@@ -70,6 +75,8 @@ class ModifierDriver:
         self.modifier = modifier if modifier is not None else LabelStackModifier(**kwargs)
         self.sim = self.modifier.sim
         self._pins = _WireDriver(self.sim, "pins")
+        #: per-level staged pairs while a bank transaction is open
+        self._staged_banks: Optional[List[List[Tuple[int, int, int]]]] = None
         self.total_cycles = 0
         #: Optional :class:`repro.obs.profiling.CycleProfiler`; when
         #: attached, every transaction's cycles are scoped under the
@@ -222,6 +229,64 @@ class ModifierDriver:
             cycles=cycles,
             stack=tuple(self.modifier.stack_entries()),
         )
+
+    # -- double-buffered bank programming ------------------------------------
+    @property
+    def in_bank_transaction(self) -> bool:
+        return self._staged_banks is not None
+
+    def _burn(self, label: str, cycles: int) -> int:
+        """Advance the clock with no command presented (the FSMs sit in
+        IDLE), keeping the cycle accounting and any attached profiler
+        in lock-step with the simulator."""
+        if self.profiler is not None:
+            with self.profiler.operation(label):
+                self.sim.step(cycles)
+        else:
+            self.sim.step(cycles)
+        self.total_cycles += cycles
+        return cycles
+
+    def bank_begin(self) -> None:
+        """Open the shadow banks: :meth:`bank_write_pair` assembles a
+        fresh information base that stays invisible to searches and
+        updates until :meth:`bank_commit` flips it in."""
+        if self._staged_banks is not None:
+            raise RuntimeError("bank transaction already open")
+        self._staged_banks = [[], [], []]
+
+    def bank_write_pair(
+        self, level: int, index: int, new_label: int, op: LabelOp
+    ) -> int:
+        """Write one pair into the shadow bank.  The write burns the
+        same 3 cycles as WRITE_PAIR -- the pair travels over the same
+        write port -- but lands in the inactive bank."""
+        if self._staged_banks is None:
+            raise RuntimeError("no bank transaction open")
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        mask = 0xFFFFFFFF if level == 1 else 0xFFFFF
+        self._staged_banks[level - 1].append(
+            (index & mask, new_label & 0xFFFFF, int(op))
+        )
+        return self._burn("BANK_WRITE", BANK_WRITE_CYCLES)
+
+    def bank_commit(self) -> int:
+        """Flip the bank select in one cycle: every level's memories
+        and write counter adopt the staged contents atomically."""
+        if self._staged_banks is None:
+            raise RuntimeError("no bank transaction open")
+        staged, self._staged_banks = self._staged_banks, None
+        for level, pairs in enumerate(staged, start=1):
+            self.modifier.dp.info_base.level(level).load_pairs(pairs)
+        return self._burn("BANK_SWAP", BANK_SWAP_CYCLES)
+
+    def bank_rollback(self) -> None:
+        """Abandon the shadow banks (zero cycles: the live memories
+        were never touched)."""
+        if self._staged_banks is None:
+            raise RuntimeError("no bank transaction open")
+        self._staged_banks = None
 
     # -- information-base management ---------------------------------------
     def modify_pair(

@@ -148,6 +148,25 @@ class InfoBaseLevel(Component):
     def rd_op(self) -> int:
         return self.op_mem.rd_data.value
 
+    def load_pairs(self, pairs: List[Tuple[int, int, int]]) -> None:
+        """Bulk-load the level with (index, label, op) triples.
+
+        The double-buffered bank-swap path: the driver assembled the
+        pairs in a shadow bank and flips them in wholesale -- memories
+        are written through the backdoor port and the write counter is
+        parallel-loaded, all within the single swap cycle.  Loading
+        beyond the memory depth truncates and raises the sticky
+        overflow flag, as an append past the end would.
+        """
+        if len(pairs) > self.depth:
+            pairs = pairs[: self.depth]
+            self.overflow.force(1)
+        for address, (index, label, op) in enumerate(pairs):
+            self.index_mem.poke(address, index)
+            self.label_mem.poke(address, label)
+            self.op_mem.poke(address, op)
+        self.write_counter.count.force(len(pairs))
+
     # -- test/debug backdoor ------------------------------------------------
     def dump_pairs(self) -> List[Tuple[int, int, int]]:
         """(index, label, op) triples for the stored pairs."""

@@ -38,6 +38,11 @@ USER_PUSH_CYCLES = 3
 USER_POP_CYCLES = 3
 WRITE_PAIR_CYCLES = 3
 
+#: The double-buffered information base commits a whole staged bank by
+#: flipping the active-bank select -- one clock edge, regardless of how
+#: many pairs the bank holds.
+BANK_SWAP_CYCLES = 1
+
 #: Fixed overhead of a search (the +5 of "3n + 5").
 SEARCH_OVERHEAD = 5
 #: Cycles per examined entry.
@@ -197,6 +202,8 @@ class FunctionalModifier:
         self.ib_depth = ib_depth
         self.stack_capacity = stack_capacity
         self._levels = [_Level(), _Level(), _Level()]
+        #: shadow banks while a bank transaction is open, else None
+        self._staged_levels: Optional[List[_Level]] = None
         self._stack: List[LabelEntry] = []  # index 0 is the top
         self._is_lsr = False
         self.stack_error = False
@@ -245,6 +252,57 @@ class FunctionalModifier:
             lvl.pairs.append((index & mask, new_label & 0xFFFFF, int(op)))
         self.total_cycles += WRITE_PAIR_CYCLES
         return WRITE_PAIR_CYCLES
+
+    # -- double-buffered bank programming ------------------------------------
+    @property
+    def in_bank_transaction(self) -> bool:
+        return self._staged_levels is not None
+
+    def bank_begin(self) -> None:
+        """Open the shadow banks: subsequent :meth:`bank_write_pair`
+        calls assemble a fresh information base off to the side while
+        searches and updates keep hitting the active banks."""
+        if self._staged_levels is not None:
+            raise RuntimeError("bank transaction already open")
+        self._staged_levels = [_Level(), _Level(), _Level()]
+
+    def bank_write_pair(
+        self, level: int, index: int, new_label: int, op: LabelOp
+    ) -> int:
+        """Append a pair to the *shadow* bank (same 3-cycle write port
+        as :meth:`write_pair`, but invisible to the data path until
+        :meth:`bank_commit`)."""
+        if self._staged_levels is None:
+            raise RuntimeError("no bank transaction open")
+        if level not in (1, 2, 3):
+            raise ValueError(f"level must be 1..3, got {level}")
+        lvl = self._staged_levels[level - 1]
+        if len(lvl.pairs) >= self.ib_depth:
+            lvl.overflow = True
+        else:
+            mask = 0xFFFFFFFF if level == 1 else 0xFFFFF
+            lvl.pairs.append((index & mask, new_label & 0xFFFFF, int(op)))
+        self.total_cycles += WRITE_PAIR_CYCLES
+        return WRITE_PAIR_CYCLES
+
+    def bank_commit(self) -> int:
+        """Flip the bank select: the shadow banks become active in a
+        single cycle.  No search ever observes a half-written table."""
+        if self._staged_levels is None:
+            raise RuntimeError("no bank transaction open")
+        for old, new in zip(self._levels, self._staged_levels):
+            new.overflow = new.overflow or old.overflow
+        self._levels = self._staged_levels
+        self._staged_levels = None
+        self.total_cycles += BANK_SWAP_CYCLES
+        return BANK_SWAP_CYCLES
+
+    def bank_rollback(self) -> None:
+        """Abandon the shadow banks (zero cycles: nothing was ever
+        visible to the data path)."""
+        if self._staged_levels is None:
+            raise RuntimeError("no bank transaction open")
+        self._staged_levels = None
 
     def _scan(self, level: int, key: int):
         """Linear first-match scan; returns (position, label, op) or

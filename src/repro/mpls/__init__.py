@@ -43,6 +43,7 @@ from repro.mpls.stack import LabelStack
 from repro.mpls.fec import FEC, HostFEC, PrefixFEC, CoSFEC
 from repro.mpls.nhlfe import NHLFE
 from repro.mpls.tables import FTN, ILM
+from repro.mpls.transaction import TableTransaction
 from repro.mpls.forwarding import ForwardingEngine, ForwardingDecision, OpCounts
 from repro.mpls.router import LSRNode, RouterRole
 
@@ -71,6 +72,7 @@ __all__ = [
     "NHLFE",
     "ILM",
     "FTN",
+    "TableTransaction",
     "ForwardingEngine",
     "ForwardingDecision",
     "OpCounts",

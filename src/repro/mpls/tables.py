@@ -11,11 +11,26 @@
 Both tables track a generation counter so the embedded architecture can
 tell when the software control plane has changed them and the hardware
 information base needs re-synchronizing.
+
+Two robustness mechanisms sit on top of the plain maps:
+
+* **Shadow-bank transactions** (``begin`` / ``commit`` / ``rollback``).
+  While a transaction is open, mutations go to a staged copy of the
+  table; lookups keep reading the active bank.  ``commit`` swaps the
+  banks in one step and bumps the generation exactly once, which is the
+  software analogue of the hardware driver's double-buffered info-base
+  banks -- no packet ever observes a half-programmed table, and a crash
+  mid-transaction rolls back to the pre-transaction state.
+* **Stale marking** (RFC 3478-style graceful restart).  When a node's
+  control plane restarts warm, surviving entries are stale-marked and
+  keep forwarding; a re-``install`` refreshes an entry in place, and
+  ``flush_stale`` removes whatever was never refreshed once the
+  forwarding-state holding timer expires.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.mpls.errors import LabelLookupMiss, NoRouteError
 from repro.mpls.label import require_real_label
@@ -35,18 +50,67 @@ class ILM:
 
     def __init__(self) -> None:
         self._entries: Dict[int, NHLFE] = {}
+        self._staged: Optional[Dict[int, NHLFE]] = None
+        self._staged_refreshed: Set[int] = set()
+        self._stale: Set[int] = set()
         self.generation = 0
+
+    # -- shadow-bank transaction ------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._staged is not None
+
+    def begin(self) -> None:
+        """Open a transaction: further mutations go to a shadow bank."""
+        if self._staged is not None:
+            raise RuntimeError("ILM transaction already open")
+        self._staged = dict(self._entries)
+        self._staged_refreshed = set()
+
+    def commit(self) -> None:
+        """Atomically swap the shadow bank in (one generation bump).
+
+        A commit that changed nothing skips the bump, so hardware nodes
+        don't resynchronize their info base for a no-op swap."""
+        if self._staged is None:
+            raise RuntimeError("no ILM transaction open")
+        changed = self._staged != self._entries
+        self._entries = self._staged
+        self._stale -= self._staged_refreshed
+        self._stale &= set(self._entries)
+        self._staged = None
+        self._staged_refreshed = set()
+        if changed:
+            self.generation += 1
+
+    def rollback(self) -> None:
+        """Discard the shadow bank; the active table is untouched."""
+        if self._staged is None:
+            raise RuntimeError("no ILM transaction open")
+        self._staged = None
+        self._staged_refreshed = set()
+
+    # -- mutation ---------------------------------------------------
 
     def install(self, label: int, nhlfe: NHLFE) -> None:
         require_real_label(label)
-        self._entries[label] = nhlfe
-        self.generation += 1
+        if self._staged is not None:
+            self._staged[label] = nhlfe
+            self._staged_refreshed.add(label)
+        else:
+            self._entries[label] = nhlfe
+            self._stale.discard(label)
+            self.generation += 1
 
     def remove(self, label: int) -> None:
-        if label not in self._entries:
+        bank = self._staged if self._staged is not None else self._entries
+        if label not in bank:
             raise KeyError(f"label {label} not installed")
-        del self._entries[label]
-        self.generation += 1
+        del bank[label]
+        if self._staged is None:
+            self._stale.discard(label)
+            self.generation += 1
 
     def lookup(self, label: int) -> NHLFE:
         try:
@@ -70,8 +134,40 @@ class ILM:
         return sorted(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.generation += 1
+        if self._staged is not None:
+            self._staged.clear()
+            self._staged_refreshed.clear()
+        else:
+            self._entries.clear()
+            self._stale.clear()
+            self.generation += 1
+
+    # -- graceful-restart stale marking -----------------------------
+
+    def mark_all_stale(self) -> int:
+        """Stale-mark every installed entry; returns how many."""
+        self._stale = set(self._entries)
+        return len(self._stale)
+
+    def mark_stale(self, label: int) -> None:
+        if label in self._entries:
+            self._stale.add(label)
+
+    def is_stale(self, label: int) -> bool:
+        return label in self._stale
+
+    def stale_labels(self) -> List[int]:
+        return sorted(self._stale)
+
+    def flush_stale(self) -> List[int]:
+        """Remove entries still stale-marked (hold timer expired)."""
+        removed = sorted(self._stale & set(self._entries))
+        for label in removed:
+            del self._entries[label]
+        self._stale.clear()
+        if removed:
+            self.generation += 1
+        return removed
 
 
 class FTN:
@@ -85,20 +181,74 @@ class FTN:
 
     def __init__(self) -> None:
         self._entries: List[Tuple[FEC, NHLFE]] = []
+        self._staged: Optional[List[Tuple[FEC, NHLFE]]] = None
+        self._staged_refreshed: Set[FEC] = set()
+        self._stale: Set[FEC] = set()
         self.generation = 0
 
+    # -- shadow-bank transaction ------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._staged is not None
+
+    def begin(self) -> None:
+        """Open a transaction: further mutations go to a shadow bank."""
+        if self._staged is not None:
+            raise RuntimeError("FTN transaction already open")
+        self._staged = list(self._entries)
+        self._staged_refreshed = set()
+
+    def commit(self) -> None:
+        """Atomically swap the shadow bank in (one generation bump).
+
+        A commit that changed nothing skips the bump, so hardware nodes
+        don't resynchronize their info base for a no-op swap."""
+        if self._staged is None:
+            raise RuntimeError("no FTN transaction open")
+        changed = self._staged != self._entries
+        self._entries = self._staged
+        self._stale -= self._staged_refreshed
+        self._stale &= {f for f, _ in self._entries}
+        self._staged = None
+        self._staged_refreshed = set()
+        if changed:
+            self.generation += 1
+
+    def rollback(self) -> None:
+        """Discard the shadow bank; the active table is untouched."""
+        if self._staged is None:
+            raise RuntimeError("no FTN transaction open")
+        self._staged = None
+        self._staged_refreshed = set()
+
+    # -- mutation ---------------------------------------------------
+
     def install(self, fec: FEC, nhlfe: NHLFE) -> None:
-        self._entries = [(f, n) for f, n in self._entries if f != fec]
-        self._entries.append((fec, nhlfe))
-        self._entries.sort(key=lambda pair: -pair[0].specificity)
-        self.generation += 1
+        if self._staged is not None:
+            self._staged = [(f, n) for f, n in self._staged if f != fec]
+            self._staged.append((fec, nhlfe))
+            self._staged.sort(key=lambda pair: -pair[0].specificity)
+            self._staged_refreshed.add(fec)
+        else:
+            self._entries = [(f, n) for f, n in self._entries if f != fec]
+            self._entries.append((fec, nhlfe))
+            self._entries.sort(key=lambda pair: -pair[0].specificity)
+            self._stale.discard(fec)
+            self.generation += 1
 
     def remove(self, fec: FEC) -> None:
-        before = len(self._entries)
-        self._entries = [(f, n) for f, n in self._entries if f != fec]
-        if len(self._entries) == before:
+        bank = self._staged if self._staged is not None else self._entries
+        before = len(bank)
+        kept = [(f, n) for f, n in bank if f != fec]
+        if len(kept) == before:
             raise KeyError(f"FEC {fec!r} not installed")
-        self.generation += 1
+        if self._staged is not None:
+            self._staged = kept
+        else:
+            self._entries = kept
+            self._stale.discard(fec)
+            self.generation += 1
 
     def lookup(self, packet: IPv4Packet) -> Tuple[FEC, NHLFE]:
         for fec, nhlfe in self._entries:
@@ -119,5 +269,40 @@ class FTN:
         return iter(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.generation += 1
+        if self._staged is not None:
+            self._staged.clear()
+            self._staged_refreshed.clear()
+        else:
+            self._entries.clear()
+            self._stale.clear()
+            self.generation += 1
+
+    # -- graceful-restart stale marking -----------------------------
+
+    def mark_all_stale(self) -> int:
+        """Stale-mark every installed entry; returns how many."""
+        self._stale = {f for f, _ in self._entries}
+        return len(self._stale)
+
+    def mark_stale(self, fec: FEC) -> None:
+        if any(f == fec for f, _ in self._entries):
+            self._stale.add(fec)
+
+    def is_stale(self, fec: FEC) -> bool:
+        return fec in self._stale
+
+    def stale_fecs(self) -> List[FEC]:
+        # Specificity order (the table's own order) keeps this
+        # deterministic without requiring FECs to be sortable.
+        return [f for f, _ in self._entries if f in self._stale]
+
+    def flush_stale(self) -> List[FEC]:
+        """Remove entries still stale-marked (hold timer expired)."""
+        removed = [f for f, _ in self._entries if f in self._stale]
+        if removed:
+            self._entries = [
+                (f, n) for f, n in self._entries if f not in self._stale
+            ]
+            self.generation += 1
+        self._stale.clear()
+        return removed

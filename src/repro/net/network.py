@@ -316,6 +316,14 @@ class MPLSNetwork:
             raise KeyError(f"unknown node {name!r}")
         if name in self._down_nodes:
             return
+        node = self.nodes[name]
+        # a crash mid-transaction kills the staging bank with the
+        # software; roll back so the cold-restart clear() hits the
+        # active bank, not a dangling shadow copy
+        if node.ilm.in_transaction:
+            node.ilm.rollback()
+        if node.ftn.in_transaction:
+            node.ftn.rollback()
         incident = [
             (a, b) for (a, b) in list(self.links) if name in (a, b)
         ]
@@ -323,12 +331,17 @@ class MPLSNetwork:
             self.fail_link(a, b)
         self._down_nodes[name] = incident
 
-    def restore_node(self, name: str) -> None:
-        """Restart a crashed node.
+    def restore_node(self, name: str) -> List[Tuple[str, str]]:
+        """Restart a crashed node; returns the links actually restored.
 
         The restart is cold: the node's ILM/FTN tables are cleared
         (forwarding state does not survive a crash) and must be
-        re-programmed by the control plane.  Its links come back up.
+        re-programmed by the control plane.  A link shared with another
+        still-crashed node stays down; it is handed over to that node's
+        incident list so the *last* restart brings it back (and it is
+        absent from the returned list).  Warm control-plane-only
+        restarts never pass through here -- see
+        :meth:`repro.control.ldp.LDPProcess.begin_graceful_restart`.
         """
         try:
             incident = self._down_nodes.pop(name)
@@ -337,11 +350,17 @@ class MPLSNetwork:
         node = self.nodes[name]
         node.ilm.clear()
         node.ftn.clear()
+        restored: List[Tuple[str, str]] = []
         for a, b in incident:
-            # a link shared with another crashed node stays down
+            # a link shared with another crashed node stays down: hand
+            # it to the survivor so its restart restores the link
             other = b if a == name else a
-            if other not in self._down_nodes:
+            if other in self._down_nodes:
+                self._down_nodes[other].append((a, b))
+            else:
                 self.restore_link(a, b)
+                restored.append((a, b))
+        return restored
 
     # -- running ---------------------------------------------------------
     def run(self, until: Optional[float] = None) -> int:

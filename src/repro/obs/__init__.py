@@ -24,6 +24,7 @@ Quick use::
 """
 
 from repro.obs.events import (
+    AuditCompleted,
     CallbackSink,
     Event,
     EventLog,
@@ -40,6 +41,7 @@ from repro.obs.events import (
     PacketDropped,
     PacketForwarded,
     SessionStateChange,
+    StaleEntriesFlushed,
 )
 from repro.obs.export import snapshot, to_json, to_prometheus
 from repro.obs.metrics import (
@@ -58,6 +60,7 @@ from repro.obs.telemetry import (
 )
 
 __all__ = [
+    "AuditCompleted",
     "CallbackSink",
     "ConservationError",
     "Counter",
@@ -81,6 +84,7 @@ __all__ = [
     "PacketDropped",
     "PacketForwarded",
     "SessionStateChange",
+    "StaleEntriesFlushed",
     "Telemetry",
     "get_telemetry",
     "set_telemetry",

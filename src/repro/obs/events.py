@@ -138,6 +138,29 @@ class FaultHealed(Event):
 
 
 @dataclass
+class AuditCompleted(Event):
+    """One consistency-audit pass: control-plane tables cross-checked
+    against the hardware information bases."""
+
+    kind: ClassVar[str] = "audit-completed"
+    nodes_checked: int = 0
+    drift_nodes: Tuple[str, ...] = ()
+    repaired: int = 0
+    watchdog_alarms: Tuple[str, ...] = ()
+
+
+@dataclass
+class StaleEntriesFlushed(Event):
+    """The forwarding-state holding timer expired: entries never
+    refreshed since the graceful restart began were removed."""
+
+    kind: ClassVar[str] = "stale-flushed"
+    node: str = ""
+    ilm_flushed: int = 0
+    ftn_flushed: int = 0
+
+
+@dataclass
 class InfoBaseScrubbed(Event):
     """A VERIFY_INFO-style scrub pass walked a node's information base
     and repaired any corrupted pairs in place."""

@@ -135,6 +135,26 @@ class Telemetry:
             "Corrupted information-base pairs repaired by scrubbing",
             ("node",),
         )
+        self.audit_runs = r.counter(
+            "repro_audit_runs_total",
+            "Consistency-audit passes over the hardware info bases",
+        )
+        self.audit_drift = r.counter(
+            "repro_audit_drift_total",
+            "Audits that found a node's info base disagreeing with its "
+            "control-plane tables",
+            ("node",),
+        )
+        self.audit_watchdog = r.counter(
+            "repro_audit_watchdog_alarms_total",
+            "Watchdog alarms for transactions left open across audits",
+            ("node",),
+        )
+        self.stale_entries = r.gauge(
+            "repro_stale_entries",
+            "Stale-marked forwarding entries awaiting refresh or flush",
+            ("node", "table"),
+        )
         self.model_evals = r.counter(
             "repro_model_evaluations_total",
             "Analytic cost-model evaluations, by model",
