@@ -3,11 +3,16 @@
 Every benchmark renders the table/figure it reproduces as plain text,
 prints it (visible with ``pytest -s``), and writes it under
 ``benchmarks/results/`` so the regenerated artifacts survive the run.
+Benchmarks with one headline number additionally persist it as
+``BENCH_<name>.json`` via :func:`emit_json`, so trend tooling can read
+the metric without scraping the rendered table.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from typing import Any, Optional
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -19,3 +24,31 @@ def emit(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
         fh.write(text + "\n")
+
+
+def emit_json(
+    name: str,
+    metric: str,
+    value: Any,
+    units: str,
+    seed: Optional[int] = None,
+    **extra: Any,
+) -> None:
+    """Persist one machine-readable benchmark metric to
+    ``results/BENCH_<name>.json`` (alongside the ``.txt`` from
+    :func:`emit`).  ``seed`` records the randomness the value depends
+    on (``None`` for fully deterministic measurements); extra keyword
+    fields ride along verbatim."""
+    record = {
+        "name": name,
+        "metric": metric,
+        "value": value,
+        "units": units,
+        "seed": seed,
+    }
+    record.update(extra)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(record, fh, sort_keys=True, indent=2)
+        fh.write("\n")

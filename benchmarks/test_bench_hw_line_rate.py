@@ -8,7 +8,7 @@ measured mean cycles/packet into the maximum line rate the modifier
 can saturate for several packet sizes and table occupancies.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_series, render_table
 from repro.analysis.throughput import line_rate_feasibility
 from repro.control.ldp import LDPProcess
@@ -58,6 +58,14 @@ def test_measured_cycles_per_packet_in_live_network(benchmark):
         render_table(["metric", "value"], rows,
                      title="Hardware node keeping a 10 Mbps link busy "
                      "(small tables, 50 MHz)"),
+    )
+    emit_json(
+        "hw_line_rate_measured",
+        metric="mean_hw_cycles_per_packet",
+        value=mean,
+        units="cycles",
+        seed=1,
+        max_line_rate_mbps=round(feas.max_line_rate_bps / 1e6, 3),
     )
     assert feas.feasible
 

@@ -8,7 +8,7 @@ effect of splitting load across the two core paths, and signalling
 message counts.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_series, render_table
 from repro.control.cr_ldp import CRLDPSignaler
 from repro.control.ldp import LDPProcess
@@ -73,6 +73,14 @@ def test_throughput_vs_offered_load(benchmark):
             rows,
             title="Single LSP across Figure 1 vs offered load",
         ),
+    )
+    emit_json(
+        "network_load_sweep",
+        metric="mean_latency_below_capacity",
+        value=rows[0][4],
+        units="ms",
+        seed=0,
+        offered_fraction=0.2,
     )
     # shape: no loss below capacity; loss and latency blow up past it
     assert rows[0][3] == "0.0%"

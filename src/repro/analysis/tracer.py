@@ -1,12 +1,14 @@
 """Packet tracing: record a packet's journey hop by hop.
 
-The tracer is a *consumer of the telemetry event stream*: it attaches a
-:class:`~repro.obs.events.CallbackSink` to the process-wide event log
-and folds every :class:`~repro.obs.events.PacketForwarded` /
-:class:`~repro.obs.events.PacketDropped` record into per-packet
-:class:`PacketTrace` objects -- producing the per-packet view of the
-paper's Figure 2 ("MPLS packet exchange") for any traffic the
-simulation carries, without wrapping or monkey-patching any node.
+The tracer is a thin view over the span layer: it attaches a
+:class:`~repro.obs.spans.SpanRecorder` (sampling everything) to the
+process-wide event log and projects each packet's hop spans down to
+the flat :class:`PacketTrace` / :class:`HopRecord` shape -- the
+per-packet view of the paper's Figure 2 ("MPLS packet exchange") for
+any traffic the simulation carries, without wrapping or
+monkey-patching any node.  Consumers that want the full tree (hardware
+phases, RTL sub-spans, fault annotations) read
+:attr:`NetworkTracer.recorder` directly.
 
 Constructing a tracer enables telemetry on the default
 :class:`~repro.obs.telemetry.Telemetry` (the data plane emits nothing
@@ -20,12 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.mpls.forwarding import Action
 from repro.net.network import MPLSNetwork
-from repro.obs.events import (
-    CallbackSink,
-    Event,
-    PacketDropped,
-    PacketForwarded,
-)
+from repro.obs.spans import KIND_HOP, SpanRecorder, Trace
 from repro.obs.telemetry import Telemetry, get_telemetry
 
 
@@ -82,13 +79,34 @@ class PacketTrace:
         return "\n".join(lines)
 
 
+def _project(trace: Trace) -> PacketTrace:
+    """Flatten one span tree to the hop-record view."""
+    out = PacketTrace(uid=trace.uid, flow_id=trace.flow_id)
+    for span in trace.spans:
+        if span.kind != KIND_HOP:
+            continue
+        attrs = span.attributes
+        out.hops.append(
+            HopRecord(
+                time=span.start,
+                node=attrs["node"],
+                stack_in=tuple(attrs.get("labels_in", ())),
+                ttl_in=attrs.get("ttl_in", 0),
+                action=Action(attrs["action"]),
+                stack_out=tuple(attrs.get("labels_out", ())),
+                reason=attrs.get("reason"),
+            )
+        )
+    return out
+
+
 class NetworkTracer:
     """Records every packet's journey through a network.
 
-    Construct *after* the network; traces accumulate in :attr:`traces`
-    as the simulation emits packet events.  Only events for nodes that
-    belong to ``network`` are folded in, so concurrent networks sharing
-    the default telemetry do not pollute each other's traces.
+    Construct *after* the network; traces accumulate as the simulation
+    emits packet events.  Only events for nodes that belong to
+    ``network`` are folded in, so concurrent networks sharing the
+    default telemetry do not pollute each other's traces.
     """
 
     def __init__(
@@ -96,72 +114,34 @@ class NetworkTracer:
     ) -> None:
         self.network = network
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
-        self.traces: Dict[int, PacketTrace] = {}
-        self._was_enabled = self.telemetry.enabled
-        self.telemetry.enable()
-        self._sink = self.telemetry.events.add_sink(
-            CallbackSink(self._on_event)
+        self.recorder = SpanRecorder(
+            sample_rate=1.0,
+            nodes=set(network.nodes),
+            telemetry=self.telemetry,
         )
 
-    def _on_event(self, event: Event) -> None:
-        if isinstance(event, PacketForwarded):
-            if event.node not in self.network.nodes:
-                return
-            self._hop(
-                event,
-                action=Action(event.action),
-                stack_out=tuple(event.labels_out),
-                reason=None,
-            )
-        elif isinstance(event, PacketDropped):
-            if event.node not in self.network.nodes:
-                return
-            self._hop(
-                event,
-                action=Action.DISCARD,
-                stack_out=(),
-                reason=event.reason,
-            )
-
-    def _hop(
-        self,
-        event,
-        action: Action,
-        stack_out: Tuple[int, ...],
-        reason: Optional[str],
-    ) -> None:
-        trace = self.traces.setdefault(
-            event.uid, PacketTrace(uid=event.uid, flow_id=event.flow_id)
-        )
-        time = (
-            event.time
-            if event.time is not None
-            else self.network.scheduler.now
-        )
-        trace.hops.append(
-            HopRecord(
-                time=time,
-                node=event.node,
-                stack_in=tuple(event.labels_in),
-                ttl_in=event.ttl_in,
-                action=action,
-                stack_out=stack_out,
-                reason=reason,
-            )
-        )
+    @property
+    def traces(self) -> Dict[int, PacketTrace]:
+        return {
+            trace.uid: _project(trace)
+            for trace in self.recorder.traces(include_probes=True)
+        }
 
     def detach(self) -> None:
         """Stop tracing and restore the telemetry switch."""
-        self.telemetry.events.remove_sink(self._sink)
-        if not self._was_enabled:
-            self.telemetry.disable()
+        self.recorder.detach()
 
     # -- queries --------------------------------------------------------
     def trace_of(self, uid: int) -> PacketTrace:
-        return self.traces[uid]
+        return _project(self.recorder.trace_of(uid))
 
     def traces_for_flow(self, flow_id: int) -> List[PacketTrace]:
-        return [t for t in self.traces.values() if t.flow_id == flow_id]
+        return [
+            _project(t)
+            for t in self.recorder.traces(flow=flow_id)
+        ]
 
     def dropped_traces(self) -> List[PacketTrace]:
-        return [t for t in self.traces.values() if t.dropped]
+        return [
+            t for t in self.traces.values() if t.dropped
+        ]

@@ -257,10 +257,20 @@ def cmd_stats() -> int:
     return rc
 
 
-def cmd_trace(output: Optional[str] = None) -> int:
+def cmd_trace(
+    output: Optional[str] = None,
+    flows: Optional[List[int]] = None,
+    nodes: Optional[List[str]] = None,
+) -> int:
     """Emit the quickstart scenario's event stream as JSON Lines --
-    to stdout, or to ``output`` when given."""
-    from repro.obs import JSONLSink, telemetry_session
+    to stdout, or to ``output`` when given.
+
+    ``flows`` / ``nodes`` restrict the stream to matching events (a
+    :class:`~repro.obs.events.FilterSink` in front of the JSONL sink).
+    Events stream to the sink as they happen; nothing is buffered for
+    the run's whole duration.
+    """
+    from repro.obs import FilterSink, JSONLSink, telemetry_session
 
     with telemetry_session() as tel:
         try:
@@ -268,18 +278,127 @@ def cmd_trace(output: Optional[str] = None) -> int:
         except OSError as exc:
             print(f"error: cannot write {output}: {exc}", file=sys.stderr)
             return 1
-        sink = tel.events.add_sink(JSONLSink(stream))
+        jsonl = JSONLSink(stream)
+        if flows or nodes:
+            sink = tel.events.add_sink(
+                FilterSink(jsonl, flows=flows, nodes=nodes)
+            )
+        else:
+            sink = tel.events.add_sink(jsonl)
         try:
             network, source = _quickstart_run()
         finally:
             tel.events.remove_sink(sink)
             if output:
                 stream.close()
+        filtered = (
+            f" ({sink.filtered} filtered out)"
+            if isinstance(sink, FilterSink)
+            else ""
+        )
         print(
-            f"traced {tel.events.emitted} events "
+            f"traced {tel.events.emitted} events{filtered} "
             f"({source.sent} packets sent, "
             f"{network.delivered_count()} delivered)"
             + (f" -> {output}" if output else ""),
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_spans(
+    scenario_path: Optional[str],
+    seed: int = 0,
+    sample_rate: float = 1.0,
+    export: Optional[str] = None,
+    flows: Optional[List[int]] = None,
+    fecs: Optional[List[str]] = None,
+    slowest: int = 5,
+) -> int:
+    """Trace a run at span granularity and summarize (or export) it.
+
+    With a scenario file the chaos harness runs it under a
+    :class:`~repro.obs.spans.SpanRecorder`; without one the quickstart
+    scenario is traced instead.  ``--export`` writes the (possibly
+    ``--flow``/``--fec``-filtered) traces as Chrome trace-event JSON,
+    loadable in Perfetto / ``chrome://tracing``.
+    """
+    from repro.obs import telemetry_session
+    from repro.obs.spans import (
+        SpanRecorder,
+        export_chrome_trace,
+        render_summary,
+    )
+
+    if scenario_path is not None:
+        from repro.faults import Scenario, ScenarioError, run_scenario
+
+        try:
+            scenario = Scenario.load(scenario_path)
+        except OSError as exc:
+            print(
+                f"error: cannot read {scenario_path}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        except ScenarioError as exc:
+            print(f"error: bad scenario: {exc}", file=sys.stderr)
+            return 1
+        try:
+            with telemetry_session():
+                report = run_scenario(
+                    scenario, seed=seed, sample_rate=sample_rate
+                )
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        recorder = report.recorder
+        label = scenario.name
+    else:
+        with telemetry_session():
+            recorder = SpanRecorder(sample_rate=sample_rate)
+            _quickstart_run()
+            recorder.finalize()
+            recorder.detach()
+        label = "quickstart"
+
+    print(render_summary(recorder, slowest=slowest))
+    traces = recorder.traces()
+    flowset = set(flows) if flows else None
+    fecset = set(fecs) if fecs else None
+    if flowset is not None or fecset is not None:
+        traces = [
+            t
+            for t in traces
+            if (flowset is None or t.flow_id in flowset)
+            and (fecset is None or t.fec in fecset)
+        ]
+        print()
+        print(f"filtered traces ({len(traces)}):")
+        for t in traces:
+            status = (
+                "delivered"
+                if t.delivered
+                else ("dropped" if t.dropped else "open")
+            )
+            lat = (
+                f"{t.latency * 1e3:.3f}ms"
+                if t.latency is not None
+                else "n/a"
+            )
+            print(
+                f"  {t.trace_id:<24} fec={t.fec:<18} {status:<9} "
+                f"latency={lat} path={'>'.join(t.path)}"
+            )
+    if export:
+        try:
+            with open(export, "w", encoding="utf-8") as handle:
+                export_chrome_trace(traces, handle)
+        except OSError as exc:
+            print(f"error: cannot write {export}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"spans: {label!r}: exported {len(traces)} traces -> {export}",
             file=sys.stderr,
         )
     return 0
@@ -360,22 +479,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=[*COMMANDS, "all", "stats", "trace", "chaos"],
+        choices=[*COMMANDS, "all", "stats", "trace", "chaos", "spans"],
         help="which result to regenerate (or: stats / trace for the "
-        "telemetry views, chaos to run a fault scenario)",
+        "telemetry views, chaos to run a fault scenario, spans to "
+        "trace one at span granularity)",
     )
     parser.add_argument(
         "scenario",
         nargs="?",
         default=None,
-        help="chaos only: path to a JSON fault scenario "
-        "(see examples/chaos_*.json)",
+        help="chaos/spans: path to a JSON fault scenario "
+        "(see examples/chaos_*.json; spans falls back to the "
+        "quickstart scenario)",
     )
     parser.add_argument(
         "--seed",
         type=int,
         default=0,
-        help="chaos only: seed for the randomized schedule and fault "
+        help="chaos/spans: seed for the randomized schedule and fault "
         "randomness (default 0)",
     )
     parser.add_argument(
@@ -394,17 +515,71 @@ def main(argv: Optional[List[str]] = None) -> int:
         "PERIOD simulated seconds (overrides the scenario's own "
         "'audit' key)",
     )
+    parser.add_argument(
+        "--flow",
+        metavar="ID",
+        type=int,
+        action="append",
+        default=None,
+        help="trace/spans: restrict to this flow id (repeatable)",
+    )
+    parser.add_argument(
+        "--node",
+        metavar="NAME",
+        action="append",
+        default=None,
+        help="trace only: restrict to events at this node (repeatable)",
+    )
+    parser.add_argument(
+        "--fec",
+        metavar="PREFIX",
+        action="append",
+        default=None,
+        help="spans only: restrict to traces of this FEC (repeatable)",
+    )
+    parser.add_argument(
+        "--sample-rate",
+        metavar="RATE",
+        type=float,
+        default=1.0,
+        help="spans only: head-based sampling rate in [0, 1] "
+        "(default 1.0 -- trace everything)",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="FILE",
+        default=None,
+        help="spans only: write the traces as Chrome trace-event JSON "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--slowest",
+        metavar="N",
+        type=int,
+        default=5,
+        help="spans only: list the N slowest traces (default 5)",
+    )
     args = parser.parse_args(argv)
     if args.command == "stats":
         return cmd_stats()
     if args.command == "trace":
-        return cmd_trace(args.output)
+        return cmd_trace(args.output, flows=args.flow, nodes=args.node)
     if args.command == "chaos":
         return cmd_chaos(
             args.scenario,
             seed=args.seed,
             output=args.output,
             audit=args.audit,
+        )
+    if args.command == "spans":
+        return cmd_spans(
+            args.scenario,
+            seed=args.seed,
+            sample_rate=args.sample_rate,
+            export=args.export,
+            flows=args.flow,
+            fecs=args.fec,
+            slowest=args.slowest,
         )
     if args.command == "all":
         worst = 0

@@ -38,6 +38,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Union
 
+from repro.core.device import STRATIX_EP1S40
 from repro.hw.model import FunctionalModifier, ScrubReport
 from repro.mpls.forwarding import (
     Action,
@@ -48,7 +49,11 @@ from repro.mpls.label import LabelOp
 from repro.mpls.router import LSRNode, RouterRole
 from repro.mpls.stack import LabelStack
 from repro.net.packet import IPv4Packet, MPLSPacket
-from repro.obs.events import InfoBaseProgrammed, InfoBaseScrubbed
+from repro.obs.events import (
+    HWOpExecuted,
+    InfoBaseProgrammed,
+    InfoBaseScrubbed,
+)
 from repro.obs.telemetry import get_telemetry
 
 
@@ -80,6 +85,10 @@ class HardwareLSRNode(LSRNode):
         self.flow_cache_evictions = 0
         #: data cycles already published to telemetry (delta tracking)
         self._observed_data_cycles = 0
+        #: per-packet phase capture for span tracing: a list of
+        #: (phase, parent_phase, cycle_start, cycle_end) while the
+        #: current packet is sampled, else None (the hot-path default)
+        self._phase_log = None
 
     # -- information-base synchronization ---------------------------------
     def _sync_info_base(self) -> None:
@@ -196,6 +205,18 @@ class HardwareLSRNode(LSRNode):
     ) -> ForwardingDecision:
         self.stats.received += 1
         self._sync_info_base()
+        # span capture is decided head-of-packet: one global lookup and
+        # one boolean when telemetry is off (the hot-path contract;
+        # benchmarks/test_bench_obs_overhead.py counts the reads)
+        tel = get_telemetry()
+        tel_enabled = tel.enabled
+        inner = packet.inner if isinstance(packet, MPLSPacket) else packet
+        capture = (
+            tel_enabled
+            and tel.spans is not None
+            and tel.spans.wants(inner.flow_id, inner.uid)
+        )
+        self._phase_log = [] if capture else None
         if isinstance(packet, MPLSPacket):
             decision = self._hw_transit(packet)
         elif self.is_edge:
@@ -207,8 +228,7 @@ class HardwareLSRNode(LSRNode):
             )
         decision = self._fill_interface(decision)
         self.stats.record(decision)
-        tel = get_telemetry()
-        if tel.enabled:
+        if tel_enabled:
             cycles_after = self.hw_data_cycles
             delta = cycles_after - self._observed_data_cycles
             self._observed_data_cycles = cycles_after
@@ -216,7 +236,45 @@ class HardwareLSRNode(LSRNode):
                 tel.hw_cycles.labels(self.name, "data").inc(delta)
                 tel.hw_packet_cycles.labels(self.name).observe(delta)
         self.observe(packet, decision)
+        if capture:
+            self._emit_phases(tel, inner.uid, inner.flow_id)
         return decision
+
+    def _emit_phases(self, tel, uid: int, flow_id: int) -> None:
+        """Publish the captured phases as cycles-domain events, with
+        the cycle-to-scheduler-time anchor (``anchor_time`` is "now":
+        the phases just ran, instantaneously in scheduler time)."""
+        log = self._phase_log
+        self._phase_log = None
+        if not log:
+            return
+        clock = tel.events.clock
+        anchor = clock() if clock is not None else 0.0
+        for phase, parent, cycle_start, cycle_end in log:
+            event = HWOpExecuted(
+                node=self.name,
+                uid=uid,
+                flow_id=flow_id,
+                phase=phase,
+                parent_phase=parent,
+                cycle_start=cycle_start,
+                cycle_end=cycle_end,
+                anchor_time=anchor,
+                clock_hz=STRATIX_EP1S40.clock_hz,
+            )
+            event.time = float(cycle_start)
+            tel.events.emit(event)
+
+    def _log_update_phases(self, log, offset: int, result) -> None:
+        """Record an UPDATE transaction and its RTL-level split."""
+        log.append(("update", None, offset, offset + result.cycles))
+        searched = result.search_cycles
+        if searched is not None:
+            log.append(("search", "update", offset, offset + searched))
+            if result.cycles > searched:
+                log.append(
+                    ("modify", "update", offset + searched, offset + result.cycles)
+                )
 
     def _load_stack(self, stack: LabelStack) -> int:
         cycles = 0
@@ -239,8 +297,13 @@ class HardwareLSRNode(LSRNode):
             )
         top = packet.stack.top
         nhlfe = self.ilm.get(top.label)
+        log = self._phase_log
         cycles = self._load_stack(packet.stack)
+        if log is not None:
+            log.append(("stack-load", None, 0, cycles))
         result = self.modifier.update()
+        if log is not None:
+            self._log_update_phases(log, cycles, result)
         cycles += result.cycles
         if result.discarded:
             self.hw_data_cycles += cycles
@@ -252,7 +315,10 @@ class HardwareLSRNode(LSRNode):
             )
             return ForwardingDecision(Action.DISCARD, reason=reason)
         new_stack = LabelStack(list(result.stack))
-        cycles += self._drain_stack()
+        drained = self._drain_stack()
+        if log is not None:
+            log.append(("stack-drain", None, cycles, cycles + drained))
+        cycles += drained
         self.hw_data_cycles += cycles
         self.fast_path_packets += 1
         next_hop = nhlfe.next_hop if nhlfe is not None else None
@@ -324,9 +390,12 @@ class HardwareLSRNode(LSRNode):
             if nhlfe is not None and nhlfe.cos is not None
             else _dscp_to_cos(packet.dscp)
         )
+        log = self._phase_log
         result = self.modifier.update(
             packet_id=dst, ttl=packet.ttl, cos=cos
         )
+        if log is not None:
+            self._log_update_phases(log, 0, result)
         self.hw_data_cycles += result.cycles
         if result.discarded:
             self._drain_stack()
@@ -337,7 +406,12 @@ class HardwareLSRNode(LSRNode):
                 else f"{self.name}: hardware discard at ingress",
             )
         new_stack = LabelStack(list(result.stack))
-        self.hw_data_cycles += self._drain_stack()
+        drained = self._drain_stack()
+        if log is not None:
+            log.append(
+                ("stack-drain", None, result.cycles, result.cycles + drained)
+            )
+        self.hw_data_cycles += drained
         inner = packet.decremented()
         return ForwardingDecision(
             Action.FORWARD_MPLS,

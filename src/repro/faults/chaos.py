@@ -17,7 +17,11 @@ the scenario's horizon, and distils the outcome into a
   stale-forwarding duration, per-flow loss) and consistency-audit
   totals -- present only when the scenario uses ``node-restart``
   faults or the ``audit`` key, so reports without them stay
-  byte-identical to earlier versions.
+  byte-identical to earlier versions,
+* OAM probe statistics (per-FEC reachability, RTTs, SLO breaches,
+  up/down transitions) when the scenario carries an ``oam`` key, and a
+  span-tracing summary when the run was invoked with a sample rate --
+  both gated the same way.
 
 Everything in the report derives from simulated time and seeded
 randomness -- the same (scenario, seed) pair yields a byte-identical
@@ -60,6 +64,7 @@ class ChaosRun:
     frr: Any = None
     schedule: List[Any] = field(default_factory=list)
     auditor: Any = None
+    oam: Any = None
 
 
 def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
@@ -158,6 +163,39 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
             stop=scenario.duration,
             repair=bool(cfg.get("repair", True)),
         )
+    oam = None
+    if scenario.oam is not None:
+        from repro.control.oam import OAMMonitor, ProbeTarget
+
+        cfg = dict(scenario.oam)
+        targets = [
+            ProbeTarget(
+                fec=flow.prefix,
+                ingress=flow.ingress,
+                destination=flow.dst,
+            )
+            for flow in scenario.traffic
+        ]
+        period = float(cfg.get("period", 0.05))
+        timeout = (
+            float(cfg["timeout"]) if cfg.get("timeout") is not None
+            else period
+        )
+        oam = OAMMonitor(
+            network,
+            targets,
+            period=period,
+            start=float(cfg.get("start", 0.0)),
+            # the last probe's verdict check must land inside the run
+            # horizon, or it would stay pending forever
+            stop=scenario.duration - timeout,
+            timeout=timeout,
+            slo_rtt_s=(
+                float(cfg["slo_rtt_s"])
+                if cfg.get("slo_rtt_s") is not None
+                else None
+            ),
+        )
     return ChaosRun(
         scenario=scenario,
         seed=seed,
@@ -169,6 +207,7 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         frr=frr,
         schedule=schedule,
         auditor=auditor,
+        oam=oam,
     )
 
 
@@ -177,6 +216,9 @@ class ChaosReport:
     """The deterministic outcome of one chaos run."""
 
     data: Dict[str, Any]
+    #: The :class:`~repro.obs.spans.SpanRecorder` of a traced run
+    #: (``sample_rate`` was given), for export; not part of the JSON.
+    recorder: Any = None
 
     def to_json(self) -> str:
         return json.dumps(self.data, sort_keys=True, indent=2) + "\n"
@@ -185,9 +227,36 @@ class ChaosReport:
         return self.data[key]
 
 
-def run_scenario(scenario: Scenario, seed: int = 0) -> ChaosReport:
-    """Run one scenario to its horizon and summarize the damage."""
+def run_scenario(
+    scenario: Scenario,
+    seed: int = 0,
+    sample_rate: Optional[float] = None,
+) -> ChaosReport:
+    """Run one scenario to its horizon and summarize the damage.
+
+    ``sample_rate`` arms a :class:`~repro.obs.spans.SpanRecorder` over
+    the run (head-based sampling at that rate, flows labelled with
+    their FEC prefixes); the finalized recorder rides back on
+    :attr:`ChaosReport.recorder` and a ``spans`` report section.
+    """
     run = build_run(scenario, seed)
+    recorder = None
+    if sample_rate is not None:
+        from repro.obs.spans import SpanRecorder
+
+        flow_fecs = {
+            source.flow_id: flow.prefix
+            for flow, source in zip(scenario.traffic, run.sources)
+        }
+        if run.oam is not None:
+            flow_fecs.update(
+                {fid: fec for fec, fid in run.oam.flow_ids.items()}
+            )
+        recorder = SpanRecorder(
+            sample_rate=sample_rate,
+            flow_fecs=flow_fecs,
+            nodes=set(run.network.nodes),
+        )
     tel = get_telemetry()
     sink = tel.events.add_sink(ListSink()) if tel.enabled else None
     try:
@@ -196,13 +265,25 @@ def run_scenario(scenario: Scenario, seed: int = 0) -> ChaosReport:
         if sink is not None:
             tel.events.remove_sink(sink)
     run.injector.finalize()
-    return summarize(run, processed, sink)
+    if recorder is not None:
+        recorder.finalize()
+        recorder.detach()
+    return summarize(run, processed, sink, recorder=recorder)
 
 
-def summarize(run: ChaosRun, processed: int, sink=None) -> ChaosReport:
+def summarize(
+    run: ChaosRun, processed: int, sink=None, recorder=None
+) -> ChaosReport:
     network, injector = run.network, run.injector
     sent = sum(s.sent for s in run.sources)
-    delivered = network.delivered_count()
+    if run.oam is not None:
+        # OAM probes are deliveries too; count traffic flows only so
+        # availability keeps meaning delivered-traffic / sent-traffic
+        delivered = sum(
+            network.delivered_count(s.flow_id) for s in run.sources
+        )
+    else:
+        delivered = network.delivered_count()
     dropped = network.drop_count()
     availability = _round(delivered / sent) if sent else None
 
@@ -395,9 +476,41 @@ def summarize(run: ChaosRun, processed: int, sink=None) -> ChaosReport:
         }
     if injector.corrupted_packets:
         report["corrupted_packets"] = injector.corrupted_packets
+    if run.oam is not None:
+        oam_summary = run.oam.summary()
+        fecs_out = []
+        for entry in oam_summary["fecs"]:
+            out = dict(entry)
+            for key in ("rtt_min_s", "rtt_max_s", "rtt_mean_s"):
+                if key in out:
+                    out[key] = _round(out[key])
+            out["transitions"] = [
+                {"time": _round(t["time"]), "up": t["up"]}
+                for t in out["transitions"]
+            ]
+            if out["up_at_end"] is False:
+                # name the hop where the broken LSP dies (post-run
+                # traceroute; safe here, the horizon has passed)
+                out["localized_path"] = run.oam.localize(out["fec"]).path
+            fecs_out.append(out)
+        report["oam"] = {
+            "period": oam_summary["period"],
+            "timeout": oam_summary["timeout"],
+            "slo_rtt_s": oam_summary["slo_rtt_s"],
+            "fecs": fecs_out,
+        }
+    if recorder is not None:
+        spans_summary = recorder.summary()
+        spans_summary["fec_latency_quantiles"] = {
+            fec: {q: _round(v) for q, v in quantiles.items()}
+            for fec, quantiles in spans_summary[
+                "fec_latency_quantiles"
+            ].items()
+        }
+        report["spans"] = spans_summary
     if sink is not None:
         kinds: Dict[str, int] = {}
         for event in sink.events:
             kinds[event.kind] = kinds.get(event.kind, 0) + 1
         report["events"] = dict(sorted(kinds.items()))
-    return ChaosReport(report)
+    return ChaosReport(report, recorder=recorder)

@@ -31,8 +31,14 @@ Schema (all times in simulated seconds)::
                   "target": ["lsr-1", "lsr-2"], "heal_at": 0.6}],
       "random_faults": {"count": 6, "kinds": ["link-down"],
                         "window": [0.1, 0.7], "mean_outage": 0.05},
-      "audit": {"period": 0.1, "start": 0.05}   // consistency auditor
+      "audit": {"period": 0.1, "start": 0.05},  // consistency auditor
+      "oam": {"period": 0.05, "start": 0.0,     // continuous LSP pings
+              "timeout": 0.05, "slo_rtt_s": 0.01}
     }
+
+The ``oam`` key arms a :class:`~repro.control.oam.OAMMonitor` over
+every traffic flow's FEC (prefix pinged from its ingress); omit it to
+run without probes, keeping older reports byte-identical.
 
 ``node-restart`` faults are *warm* (graceful) restarts: the target's
 control plane goes away between ``at`` and ``heal_at`` while its data
@@ -263,6 +269,9 @@ class Scenario:
     #: consistency-auditor configuration ({"period": s, "start": s}),
     #: or None to run without the auditor
     audit: Optional[Mapping[str, Any]] = None
+    #: OAM monitor configuration ({"period": s, "start": s,
+    #: "timeout": s, "slo_rtt_s": s}), or None to run without probes
+    oam: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.control not in ("ldp", "ldp-messages", "frr"):
@@ -298,6 +307,9 @@ class Scenario:
             ),
             audit=(
                 dict(raw["audit"]) if raw.get("audit") is not None else None
+            ),
+            oam=(
+                dict(raw["oam"]) if raw.get("oam") is not None else None
             ),
         )
 

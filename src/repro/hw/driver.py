@@ -22,7 +22,8 @@ Transactions:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.hdl.signal import Wire
 from repro.hdl.simulator import Component, Simulator
@@ -82,20 +83,84 @@ class ModifierDriver:
         #: attached, every transaction's cycles are scoped under the
         #: operation's name for per-operation breakdowns.
         self.profiler = None
+        #: Open :meth:`span_scope` context, or None (the default: no
+        #: per-transaction span events are emitted).
+        self._span_ctx = None
 
     def attach_profiler(self, profiler) -> None:
         """Scope subsequent transactions under the profiler's
         operation labels (see :mod:`repro.obs.profiling`)."""
         self.profiler = profiler
 
+    @contextmanager
+    def span_scope(
+        self,
+        node: str = "rtl",
+        uid: int = 0,
+        flow_id: int = 0,
+        anchor_time: float = 0.0,
+        clock_hz: float = 50e6,
+    ) -> Iterator[None]:
+        """Attribute the transactions inside the block to one packet.
+
+        While open, every completed transaction is emitted as a
+        cycles-domain :class:`~repro.obs.events.HWOpExecuted` event
+        (when telemetry is enabled and a span recorder is attached),
+        with cycle offsets relative to the scope start -- the RTL
+        driver's half of the cycle-to-time correlation.
+        """
+        if self._span_ctx is not None:
+            raise RuntimeError("span scope already open")
+        self._span_ctx = {
+            "node": node,
+            "uid": uid,
+            "flow_id": flow_id,
+            "anchor_time": anchor_time,
+            "clock_hz": clock_hz,
+            "base_cycle": self.sim.cycle,
+        }
+        try:
+            yield
+        finally:
+            self._span_ctx = None
+
+    def _emit_span(self, op_name: str, start_cycle: int, end_cycle: int) -> None:
+        ctx = self._span_ctx
+        from repro.obs.telemetry import get_telemetry
+
+        tel = get_telemetry()
+        if not tel.enabled or tel.spans is None:
+            return
+        from repro.obs.events import HWOpExecuted
+
+        base = ctx["base_cycle"]
+        event = HWOpExecuted(
+            node=ctx["node"],
+            uid=ctx["uid"],
+            flow_id=ctx["flow_id"],
+            phase=op_name.lower().replace("_", "-"),
+            parent_phase=None,
+            cycle_start=start_cycle - base,
+            cycle_end=end_cycle - base,
+            anchor_time=ctx["anchor_time"],
+            clock_hz=ctx["clock_hz"],
+        )
+        event.time = float(start_cycle - base)
+        tel.events.emit(event)
+
     # -- low-level transaction plumbing -----------------------------------
     def _issue(self, op: UserOp, **operands: int) -> int:
         """Present a command for one cycle, run to completion, return
         the cycle count."""
+        start_cycle = self.sim.cycle
         if self.profiler is not None:
             with self.profiler.operation(op.name):
-                return self._issue_unprofiled(op, **operands)
-        return self._issue_unprofiled(op, **operands)
+                cycles = self._issue_unprofiled(op, **operands)
+        else:
+            cycles = self._issue_unprofiled(op, **operands)
+        if self._span_ctx is not None:
+            self._emit_span(op.name, start_cycle, self.sim.cycle)
+        return cycles
 
     def _issue_unprofiled(self, op: UserOp, **operands: int) -> int:
         if self.modifier.busy:

@@ -410,11 +410,16 @@ class FunctionalModifier:
         pos, label, op_code = self._scan(level, key)
 
         if pos is None:
-            cycles = search_cycles(n, None) + MISS_TAIL_CYCLES
+            searched = search_cycles(n, None)
+            cycles = searched + MISS_TAIL_CYCLES
             self._stack = []
             self.total_cycles += cycles
             return UpdateResult(
-                performed=None, discarded=True, cycles=cycles, stack=()
+                performed=None,
+                discarded=True,
+                cycles=cycles,
+                stack=(),
+                search_cycles=searched,
             )
 
         base = search_cycles(n, pos)
@@ -426,7 +431,11 @@ class FunctionalModifier:
             self._stack = []
             self.total_cycles += cycles
             return UpdateResult(
-                performed=None, discarded=True, cycles=cycles, stack=()
+                performed=None,
+                discarded=True,
+                cycles=cycles,
+                stack=(),
+                search_cycles=base,
             )
 
         # VERIFY_INFO checks, in the same order as the RTL
@@ -483,6 +492,7 @@ class FunctionalModifier:
             discarded=False,
             cycles=cycles,
             stack=tuple(self._stack),
+            search_cycles=base,
         )
 
     # -- fault injection ----------------------------------------------------

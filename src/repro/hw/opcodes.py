@@ -81,9 +81,16 @@ class ReadEntryResult:
 
 @dataclass(frozen=True)
 class UpdateResult:
-    """Outcome of an UPDATE transaction (the Figure 9 flow)."""
+    """Outcome of an UPDATE transaction (the Figure 9 flow).
+
+    ``search_cycles`` is the portion of ``cycles`` spent in the SEARCH
+    sub-flow (the Figures 14-16 lookup); the remainder is the
+    verify/modify tail.  The functional model fills it in for span
+    tracing; None means the split was not measured.
+    """
 
     performed: Optional[LabelOp]
     discarded: bool
     cycles: int
     stack: Tuple[LabelEntry, ...]
+    search_cycles: Optional[int] = None

@@ -21,12 +21,13 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.mpls.forwarding import Action
-from repro.mpls.router import LSRNode, RouterRole
+from repro.mpls.router import LSRNode, RouterRole, packet_ttl, stack_labels
 from repro.net.addressing import IPv4Prefix
 from repro.net.events import EventScheduler
 from repro.net.link import DropTailQueue, Interface, Link
 from repro.net.packet import IPv4Packet, MPLSPacket
 from repro.net.topology import Topology
+from repro.obs.events import PacketDelivered, PacketDropped
 from repro.obs.telemetry import get_telemetry
 from repro.qos.classifier import cos_of_packet
 
@@ -173,7 +174,10 @@ class MPLSNetwork:
     ) -> None:
         if node_name in self._down_nodes:
             self._record_drop(
-                self.scheduler.now, node_name, f"{node_name}: node down"
+                self.scheduler.now,
+                node_name,
+                f"{node_name}: node down",
+                packet,
             )
             return
         node = self.nodes[node_name]
@@ -217,7 +221,7 @@ class MPLSNetwork:
                 return
         if decision.next_hop is None:
             self._record_drop(
-                now, node_name, f"{node_name}: no next hop resolved"
+                now, node_name, f"{node_name}: no next hop resolved", out
             )
             return
         link = self._link_of.get((node_name, decision.next_hop))
@@ -226,6 +230,7 @@ class MPLSNetwork:
                 now,
                 node_name,
                 f"{node_name}: no link towards {decision.next_hop}",
+                out,
             )
             return
         channel = link.channel_from(node_name)
@@ -235,15 +240,38 @@ class MPLSNetwork:
                 now,
                 node_name,
                 f"{node_name}: queue overflow towards {decision.next_hop}",
+                out,
             )
 
-    def _record_drop(self, now: float, node_name: str, reason: str) -> None:
+    def _record_drop(
+        self,
+        now: float,
+        node_name: str,
+        reason: str,
+        packet: Optional[Union[IPv4Packet, MPLSPacket]] = None,
+    ) -> None:
         self.drops.append(Drop(now, node_name, reason))
         tel = get_telemetry()
         if tel.enabled:
             tel.drops.labels(
                 node_name, reason.split(":")[-1].strip()
             ).inc()
+            if packet is not None:
+                inner = (
+                    packet.inner
+                    if isinstance(packet, MPLSPacket)
+                    else packet
+                )
+                tel.events.emit(
+                    PacketDropped(
+                        node=node_name,
+                        uid=inner.uid,
+                        flow_id=inner.flow_id,
+                        reason=reason,
+                        labels_in=stack_labels(packet),
+                        ttl_in=packet_ttl(packet),
+                    )
+                )
 
     def _is_attached(self, node_name: str, packet: IPv4Packet) -> bool:
         return any(
@@ -258,6 +286,14 @@ class MPLSNetwork:
         if tel.enabled:
             tel.packets.labels(node_name, "delivered").inc()
             tel.delivery_latency.labels(node_name).observe(delivery.latency)
+            tel.events.emit(
+                PacketDelivered(
+                    node=node_name,
+                    uid=packet.uid,
+                    flow_id=packet.flow_id,
+                    latency=delivery.latency,
+                )
+            )
         for prefix, sink in self._hosts.get(node_name, []):
             if sink is not None and prefix.contains(packet.dst):
                 sink(packet)

@@ -24,13 +24,18 @@ Quick use::
 """
 
 from repro.obs.events import (
+    CLOCK_CYCLES,
+    CLOCK_SIM,
+    JSONL_SCHEMA_VERSION,
     AuditCompleted,
     CallbackSink,
     Event,
     EventLog,
     FaultHealed,
     FaultInjected,
+    FilterSink,
     FSMTransition,
+    HWOpExecuted,
     InfoBaseProgrammed,
     InfoBaseScrubbed,
     JSONLSink,
@@ -38,10 +43,13 @@ from repro.obs.events import (
     LabelOpApplied,
     ListSink,
     LSPEvent,
+    OAMProbeCompleted,
+    PacketDelivered,
     PacketDropped,
     PacketForwarded,
     SessionStateChange,
     StaleEntriesFlushed,
+    read_jsonl,
 )
 from repro.obs.export import snapshot, to_json, to_prometheus
 from repro.obs.metrics import (
@@ -52,6 +60,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.profiling import ConservationError, CycleProfiler
+from repro.obs.spans import (
+    Span,
+    SpanAnnotation,
+    SpanRecorder,
+    Trace,
+    export_chrome_trace,
+    spans_to_jsonl,
+    to_chrome_trace,
+)
 from repro.obs.telemetry import (
     Telemetry,
     get_telemetry,
@@ -62,6 +79,8 @@ from repro.obs.telemetry import (
 __all__ = [
     "AuditCompleted",
     "CallbackSink",
+    "CLOCK_CYCLES",
+    "CLOCK_SIM",
     "ConservationError",
     "Counter",
     "CycleProfiler",
@@ -69,11 +88,14 @@ __all__ = [
     "EventLog",
     "FaultHealed",
     "FaultInjected",
+    "FilterSink",
     "FSMTransition",
     "Gauge",
     "Histogram",
+    "HWOpExecuted",
     "InfoBaseProgrammed",
     "InfoBaseScrubbed",
+    "JSONL_SCHEMA_VERSION",
     "JSONLSink",
     "LabelMappingInstalled",
     "LabelOpApplied",
@@ -81,15 +103,25 @@ __all__ = [
     "LSPEvent",
     "MetricFamily",
     "MetricsRegistry",
+    "OAMProbeCompleted",
+    "PacketDelivered",
     "PacketDropped",
     "PacketForwarded",
     "SessionStateChange",
+    "Span",
+    "SpanAnnotation",
+    "SpanRecorder",
     "StaleEntriesFlushed",
     "Telemetry",
+    "Trace",
+    "export_chrome_trace",
     "get_telemetry",
+    "read_jsonl",
     "set_telemetry",
     "snapshot",
+    "spans_to_jsonl",
     "telemetry_session",
+    "to_chrome_trace",
     "to_json",
     "to_prometheus",
 ]

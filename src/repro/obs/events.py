@@ -16,13 +16,43 @@ Events are stamped with the emitting layer's notion of time: the
 :class:`EventLog` holds a ``clock`` callable (the network simulator
 installs its event-scheduler clock); an event whose ``time`` is already
 set keeps it.
+
+Because the hardware layer counts RTL clock cycles while the network
+layer counts event-scheduler seconds, every event class declares its
+``clock_domain`` (``"sim"`` seconds or ``"cycles"``), and the JSONL
+schema carries it explicitly from version 2 on.  :func:`read_jsonl`
+reads both schema versions, back-filling the domain for v1 lines.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field, fields
-from typing import Any, Callable, ClassVar, Dict, List, Optional, TextIO, Tuple
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    TextIO,
+    Tuple,
+)
+
+#: The JSONL trace-file schema version written by :class:`JSONLSink`.
+#: v1 had no ``v`` or ``clock_domain`` keys and stamped hardware events
+#: with raw cycle counts in ``time``; v2 makes the domain explicit.
+JSONL_SCHEMA_VERSION = 2
+
+#: Clock-domain names: event-scheduler seconds vs RTL clock cycles.
+CLOCK_SIM = "sim"
+CLOCK_CYCLES = "cycles"
+
+#: v1 event kinds whose ``time`` was an RTL cycle count, used by
+#: :func:`read_jsonl` to back-fill ``clock_domain`` for old files.
+_V1_CYCLE_KINDS = frozenset({"fsm-transition"})
 
 
 @dataclass
@@ -30,13 +60,18 @@ class Event:
     """Base record; concrete event types subclass and set ``kind``."""
 
     kind: ClassVar[str] = "event"
-    #: Seconds on the emitting layer's clock (stamped by the log).
+    #: Which clock ``time`` is measured on: :data:`CLOCK_SIM` seconds
+    #: (the event scheduler) or :data:`CLOCK_CYCLES` (RTL clock edges).
+    clock_domain: ClassVar[str] = CLOCK_SIM
+    #: Time on the clock named by ``clock_domain`` (stamped by the log
+    #: for sim-domain events without an explicit value).
     time: Optional[float] = field(default=None, init=False)
 
     def as_dict(self) -> Dict[str, Any]:
         out = asdict(self)
         out["kind"] = self.kind
         out["time"] = self.time
+        out["clock_domain"] = self.clock_domain
         return out
 
 
@@ -68,6 +103,18 @@ class PacketDropped(Event):
     reason: str = ""
     labels_in: Tuple[int, ...] = ()
     ttl_in: int = 0
+
+
+@dataclass
+class PacketDelivered(Event):
+    """One packet that reached its attached host at an egress LER."""
+
+    kind: ClassVar[str] = "packet-delivered"
+    node: str = ""
+    uid: int = 0
+    flow_id: int = 0
+    #: End-to-end latency in simulated seconds.
+    latency: float = 0.0
 
 
 @dataclass
@@ -173,16 +220,65 @@ class InfoBaseScrubbed(Event):
     cycles: int = 0
 
 
+# -- OAM ---------------------------------------------------------------------
+@dataclass
+class OAMProbeCompleted(Event):
+    """One LSP-ping probe from the OAM monitor concluded."""
+
+    kind: ClassVar[str] = "oam-probe"
+    fec: str = ""
+    ingress: str = ""
+    uid: int = 0
+    reached: bool = False
+    #: Round-trip (injection-to-delivery) seconds; None when lost.
+    rtt: Optional[float] = None
+    #: True when the probe exceeded the configured SLO RTT.
+    breach: bool = False
+
+
 # -- embedded hardware -------------------------------------------------------
 @dataclass
 class FSMTransition(Event):
-    """A control-unit state machine changed state at a clock edge."""
+    """A control-unit state machine changed state at a clock edge.
+
+    ``time`` carries the RTL cycle number (the ``cycle`` field), not
+    scheduler seconds: this event lives in the cycles clock domain.
+    """
 
     kind: ClassVar[str] = "fsm-transition"
+    clock_domain: ClassVar[str] = CLOCK_CYCLES
     fsm: str = ""
     src: str = ""
     dst: str = ""
     cycle: int = 0
+
+
+@dataclass
+class HWOpExecuted(Event):
+    """One hardware data-plane phase executed for one packet.
+
+    Cycle counts are offsets from the start of this packet's hardware
+    processing; ``anchor_time`` and ``clock_hz`` publish the cycle-to-
+    scheduler-time mapping (``t = anchor_time + cycle / clock_hz``), so
+    span consumers can place RTL work on the simulation timeline.
+    ``time`` carries ``cycle_start`` (cycles domain).
+    """
+
+    kind: ClassVar[str] = "hw-op"
+    clock_domain: ClassVar[str] = CLOCK_CYCLES
+    node: str = ""
+    uid: int = 0
+    flow_id: int = 0
+    #: "stack-load" / "update" / "stack-drain" / "search" / "modify" ...
+    phase: str = ""
+    #: The enclosing phase for nested FSM work (e.g. "update"), or None.
+    parent_phase: Optional[str] = None
+    cycle_start: int = 0
+    cycle_end: int = 0
+    #: Scheduler seconds corresponding to cycle 0 of this packet.
+    anchor_time: float = 0.0
+    #: The hardware clock rate used for the cycle-to-time mapping.
+    clock_hz: float = 0.0
 
 
 @dataclass
@@ -227,19 +323,91 @@ class CallbackSink:
 
 
 class JSONLSink:
-    """Writes one JSON object per event line to a text stream."""
+    """Writes one JSON object per event line to a text stream.
+
+    Lines carry the schema version (``"v"``) and the event's
+    ``clock_domain`` so mixed sim-seconds/RTL-cycles streams are
+    unambiguous; :func:`read_jsonl` reads v1 and v2 files alike.
+    """
 
     def __init__(self, stream: TextIO) -> None:
         self.stream = stream
         self.written = 0
 
     def write(self, event: Event) -> None:
-        self.stream.write(json.dumps(event.as_dict(), sort_keys=True))
+        record = event.as_dict()
+        record["v"] = JSONL_SCHEMA_VERSION
+        self.stream.write(json.dumps(record, sort_keys=True))
         self.stream.write("\n")
         self.written += 1
 
     def flush(self) -> None:
         self.stream.flush()
+
+
+class FilterSink:
+    """Forwards only events matching the given predicates to an inner
+    sink -- the streaming filter behind ``repro trace --flow/--node``.
+
+    ``flows``/``nodes`` are allow-lists (None means "any"); events
+    without the corresponding attribute pass a None filter only.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        flows: Optional[Iterable[int]] = None,
+        nodes: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.inner = inner
+        self.flows = frozenset(flows) if flows is not None else None
+        self.nodes = frozenset(nodes) if nodes is not None else None
+        self.passed = 0
+        self.filtered = 0
+
+    def _matches(self, event: Event) -> bool:
+        if self.flows is not None:
+            if getattr(event, "flow_id", None) not in self.flows:
+                return False
+        if self.nodes is not None:
+            if getattr(event, "node", None) not in self.nodes:
+                return False
+        return True
+
+    def write(self, event: Event) -> None:
+        if self._matches(event):
+            self.passed += 1
+            self.inner.write(event)
+        else:
+            self.filtered += 1
+
+    def flush(self) -> None:
+        flush = getattr(self.inner, "flush", None)
+        if flush is not None:
+            flush()
+
+
+def read_jsonl(stream: TextIO) -> Iterator[Dict[str, Any]]:
+    """Parse a JSONL trace file written by any schema version.
+
+    Yields one dict per event line with ``v`` and ``clock_domain``
+    always present: v1 lines (no ``v`` key) are back-filled with
+    ``v=1`` and the domain their kind implied at the time.
+    """
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if "v" not in record:
+            record["v"] = 1
+        if "clock_domain" not in record:
+            record["clock_domain"] = (
+                CLOCK_CYCLES
+                if record.get("kind") in _V1_CYCLE_KINDS
+                else CLOCK_SIM
+            )
+        yield record
 
 
 class EventLog:
@@ -263,7 +431,13 @@ class EventLog:
         return list(self._sinks)
 
     def emit(self, event: Event) -> None:
-        if event.time is None and self.clock is not None:
+        # the log's clock ticks in scheduler seconds; events living in
+        # another clock domain must stamp their own time
+        if (
+            event.time is None
+            and self.clock is not None
+            and event.clock_domain == CLOCK_SIM
+        ):
             event.time = self.clock()
         self.emitted += 1
         for sink in self._sinks:

@@ -134,11 +134,13 @@ class CycleProfiler:
             now = fsm.state_name
             if now != held:
                 if emit_events:
-                    self.telemetry.events.emit(
-                        FSMTransition(
-                            fsm=fsm.name, src=held, dst=now, cycle=cycle
-                        )
+                    # cycles-domain event: stamp time with the cycle
+                    # number so the log never applies its sim clock
+                    transition = FSMTransition(
+                        fsm=fsm.name, src=held, dst=now, cycle=cycle
                     )
+                    transition.time = float(cycle)
+                    self.telemetry.events.emit(transition)
                 self._last_state[fsm] = now
         for mem in self._memories:
             if mem.wr_en.value:

@@ -1,0 +1,726 @@
+"""Cross-layer span tracing: the packet flight recorder.
+
+A :class:`SpanRecorder` is a sink over the existing
+:class:`~repro.obs.events.EventLog` that correlates the flat event
+stream into per-packet trace trees:
+
+* a **root span** per packet (trace id = flow id + uid),
+* a **hop span** per node traversal (ingress-to-egress in
+  event-scheduler seconds, folded from ``PacketForwarded`` /
+  ``PacketDropped`` / ``PacketDelivered``),
+* **phase spans** per hardware operation beneath each hop
+  (label-stack-modifier work in RTL cycles, folded from
+  ``HWOpExecuted`` and placed on the simulation timeline via the
+  cycle-to-time anchor the hardware node publishes), with **RTL spans**
+  (search/modify) nested one level further down.
+
+Sampling is head-based and deterministic: the keep/drop decision is a
+pure hash of the packet uid against ``sample_rate`` (with per-flow
+overrides), so the same seeded run always samples the same packets and
+exports are byte-stable.  Fault-injection events annotate every trace
+whose lifetime overlaps the fault window.  SLO latency histograms are
+observed per FEC for *every* delivered packet regardless of sampling;
+p50/p95/p99 are published as gauges at :meth:`SpanRecorder.finalize`.
+
+Exporters: :func:`to_chrome_trace` (Chrome trace-event JSON, loadable
+in Perfetto / ``chrome://tracing``) and :func:`spans_to_jsonl` (the
+repo's JSONL line format, schema v2).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, TextIO, Tuple
+
+from repro.obs.events import (
+    CLOCK_CYCLES,
+    CLOCK_SIM,
+    Event,
+    FaultHealed,
+    FaultInjected,
+    HWOpExecuted,
+    JSONL_SCHEMA_VERSION,
+    LabelOpApplied,
+    OAMProbeCompleted,
+    PacketDelivered,
+    PacketDropped,
+    PacketForwarded,
+)
+from repro.obs.telemetry import Telemetry, get_telemetry
+
+#: Span kinds, from root to leaf.
+KIND_PACKET = "packet"
+KIND_HOP = "hop"
+KIND_LABEL_OP = "label-op"
+KIND_HW_PHASE = "hw-phase"
+KIND_RTL = "rtl"
+
+#: Quantiles published per FEC at finalize.
+SLO_QUANTILES = (0.50, 0.95, 0.99)
+
+
+def sample_hash(uid: int) -> float:
+    """Map a packet uid to [0, 1) deterministically (no RNG, so the
+    same seeded run samples the same packets on every execution)."""
+    return ((uid * 0x9E3779B1) & 0xFFFFFFFF) / 4294967296.0
+
+
+def quantile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted non-empty list."""
+    n = len(sorted_values)
+    rank = max(1, min(n, int(-(-q * n // 1))))  # ceil without math
+    return sorted_values[rank - 1]
+
+
+@dataclass
+class SpanAnnotation:
+    """A point-in-time note attached to a span (e.g. a fault event)."""
+
+    time: float
+    label: str
+    detail: str = ""
+
+
+@dataclass
+class Span:
+    """One timed unit of work inside a trace."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    kind: str
+    start: float
+    end: Optional[float] = None
+    clock_domain: str = CLOCK_SIM
+    #: Packet-relative RTL cycle interval for hardware spans.
+    cycle_start: Optional[int] = None
+    cycle_end: Optional[int] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    annotations: List[SpanAnnotation] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "clock_domain": self.clock_domain,
+            "cycle_start": self.cycle_start,
+            "cycle_end": self.cycle_end,
+            "attributes": dict(self.attributes),
+            "annotations": [
+                {"time": a.time, "label": a.label, "detail": a.detail}
+                for a in self.annotations
+            ],
+        }
+
+
+@dataclass
+class Trace:
+    """One packet's span tree, keyed by the packet uid."""
+
+    uid: int
+    flow_id: int
+    fec: str
+    root: Span
+    #: All non-root spans, in creation order.
+    spans: List[Span] = field(default_factory=list)
+    delivered: bool = False
+    dropped: bool = False
+    probe: bool = False
+
+    @property
+    def trace_id(self) -> str:
+        return f"flow{self.flow_id}/pkt{self.uid}"
+
+    @property
+    def start(self) -> float:
+        return self.root.start
+
+    @property
+    def end(self) -> float:
+        if self.root.end is not None:
+            return self.root.end
+        ends = [s.end for s in self.spans if s.end is not None]
+        return max(ends) if ends else self.root.start
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.start
+
+    def spans_of_kind(self, kind: str) -> List[Span]:
+        return [s for s in self.spans if s.kind == kind]
+
+    @property
+    def hop_spans(self) -> List[Span]:
+        return self.spans_of_kind(KIND_HOP)
+
+    @property
+    def path(self) -> List[str]:
+        return [s.attributes["node"] for s in self.hop_spans]
+
+    def all_spans(self) -> List[Span]:
+        return [self.root, *self.spans]
+
+
+@dataclass
+class FaultWindow:
+    """The [injected, healed] interval of one fault, for annotation."""
+
+    start: float
+    fault: str
+    target: str
+    detail: str = ""
+    end: Optional[float] = None
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        if self.start > t1:
+            return False
+        return self.end is None or self.end >= t0
+
+
+class SpanRecorder:
+    """Folds the event stream into per-packet traces.
+
+    Constructing a recorder enables telemetry on ``telemetry`` (the
+    default instance otherwise), attaches itself as an event sink, and
+    publishes itself at ``telemetry.spans`` so hardware nodes know to
+    emit per-packet phase events; :meth:`detach` undoes all three.
+
+    Parameters
+    ----------
+    sample_rate:
+        Fraction of packets to trace, decided per uid at the first
+        event (head-based).  1.0 traces everything, 0.0 nothing.
+    flow_rates:
+        Per-flow-id overrides of ``sample_rate`` (the per-FEC override
+        knob: map the flow ids carrying a FEC to its rate).
+    flow_fecs:
+        flow id -> FEC name, used for SLO attribution and trace
+        labelling; unmapped flows fall back to ``flow-<id>``.
+    nodes:
+        Restrict folding to these node names (a network's node set), so
+        concurrent networks sharing the default telemetry do not
+        pollute each other's traces.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        flow_rates: Optional[Mapping[int, float]] = None,
+        flow_fecs: Optional[Mapping[int, str]] = None,
+        nodes: Optional[Iterable[str]] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate not in [0, 1]: {sample_rate}")
+        self.sample_rate = sample_rate
+        self.flow_rates = dict(flow_rates or {})
+        self.flow_fecs = dict(flow_fecs or {})
+        self.nodes = frozenset(nodes) if nodes is not None else None
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        self._traces: Dict[int, Trace] = {}
+        self._open_hop: Dict[int, Span] = {}
+        self._decisions: Dict[int, bool] = {}
+        self._pending_ops: Dict[str, List[LabelOpApplied]] = {}
+        self.fault_windows: List[FaultWindow] = []
+        self._latencies: Dict[str, List[float]] = {}
+        self.quantiles: Dict[str, Dict[str, float]] = {}
+        self.sampled_out = 0
+        self._next_span_id = 1
+        self._finalized = False
+        self._was_enabled = self.telemetry.enabled
+        self.telemetry.enable()
+        self.telemetry.spans = self
+        self.telemetry.events.add_sink(self)
+
+    # -- sampling ----------------------------------------------------------
+    def wants(self, flow_id: int, uid: int) -> bool:
+        """The head-based keep/drop decision for one packet (cached)."""
+        decision = self._decisions.get(uid)
+        if decision is None:
+            rate = self.flow_rates.get(flow_id, self.sample_rate)
+            decision = sample_hash(uid) < rate
+            self._decisions[uid] = decision
+            if not decision:
+                self.sampled_out += 1
+        return decision
+
+    def fec_of(self, flow_id: int) -> str:
+        return self.flow_fecs.get(flow_id, f"flow-{flow_id}")
+
+    # -- sink protocol -----------------------------------------------------
+    def write(self, event: Event) -> None:
+        if isinstance(event, PacketForwarded):
+            self._on_hop(event, dropped=False)
+        elif isinstance(event, PacketDropped):
+            self._on_hop(event, dropped=True)
+        elif isinstance(event, PacketDelivered):
+            self._on_delivered(event)
+        elif isinstance(event, LabelOpApplied):
+            self._pending_ops.setdefault(event.node, []).append(event)
+        elif isinstance(event, HWOpExecuted):
+            self._on_hw_op(event)
+        elif isinstance(event, FaultInjected):
+            self.fault_windows.append(
+                FaultWindow(
+                    start=event.time if event.time is not None else 0.0,
+                    fault=event.fault,
+                    target=event.target,
+                    detail=event.detail,
+                )
+            )
+        elif isinstance(event, FaultHealed):
+            for window in reversed(self.fault_windows):
+                if (
+                    window.end is None
+                    and window.fault == event.fault
+                    and window.target == event.target
+                ):
+                    window.end = event.time
+                    break
+        elif isinstance(event, OAMProbeCompleted):
+            self._on_probe(event)
+
+    # -- folding -----------------------------------------------------------
+    def _span(self, **kwargs: Any) -> Span:
+        span = Span(span_id=self._next_span_id, **kwargs)
+        self._next_span_id += 1
+        return span
+
+    def _trace_for(
+        self, uid: int, flow_id: int, start: float
+    ) -> Trace:
+        trace = self._traces.get(uid)
+        if trace is None:
+            root = self._span(
+                parent_id=None,
+                name=f"packet {uid}",
+                kind=KIND_PACKET,
+                start=start,
+                attributes={"uid": uid, "flow_id": flow_id},
+            )
+            trace = Trace(
+                uid=uid,
+                flow_id=flow_id,
+                fec=self.fec_of(flow_id),
+                root=root,
+            )
+            self._traces[uid] = trace
+        return trace
+
+    def _on_hop(self, event: Any, dropped: bool) -> None:
+        # label-op buffers are keyed by node and must drain whether or
+        # not this packet is sampled (the node processes synchronously,
+        # so pending ops always belong to the packet just recorded)
+        pending = self._pending_ops.pop(event.node, None)
+        if self.nodes is not None and event.node not in self.nodes:
+            return
+        if not self.wants(event.flow_id, event.uid):
+            return
+        time = event.time if event.time is not None else 0.0
+        trace = self._trace_for(event.uid, event.flow_id, time)
+        previous = self._open_hop.get(event.uid)
+        if previous is not None and previous.end is None:
+            previous.end = time
+        attributes: Dict[str, Any] = {
+            "node": event.node,
+            "labels_in": list(event.labels_in),
+            "ttl_in": event.ttl_in,
+        }
+        if dropped:
+            attributes["action"] = "discard"
+            attributes["reason"] = event.reason
+        else:
+            attributes["action"] = event.action
+            attributes["labels_out"] = list(event.labels_out)
+            attributes["next_hop"] = event.next_hop
+        hop = self._span(
+            parent_id=trace.root.span_id,
+            name=f"hop {event.node}",
+            kind=KIND_HOP,
+            start=time,
+            attributes=attributes,
+        )
+        trace.spans.append(hop)
+        if dropped:
+            hop.end = time
+            trace.dropped = True
+            if trace.root.end is None or trace.root.end < time:
+                trace.root.end = time
+            self._open_hop.pop(event.uid, None)
+        else:
+            self._open_hop[event.uid] = hop
+        for op in pending or ():
+            op_time = op.time if op.time is not None else time
+            trace.spans.append(
+                self._span(
+                    parent_id=hop.span_id,
+                    name=f"{op.op} {op.label_in}->{op.label_out}",
+                    kind=KIND_LABEL_OP,
+                    start=op_time,
+                    end=op_time,
+                    attributes={
+                        "op": op.op,
+                        "label_in": op.label_in,
+                        "label_out": op.label_out,
+                    },
+                )
+            )
+
+    def _on_delivered(self, event: PacketDelivered) -> None:
+        if self.nodes is not None and event.node not in self.nodes:
+            return
+        # the SLO histogram sees every delivery, sampled or not; probe
+        # flows (negative ids) are the OAM monitor's business instead
+        if event.flow_id >= 0:
+            fec = self.fec_of(event.flow_id)
+            self._latencies.setdefault(fec, []).append(event.latency)
+            tel = self.telemetry
+            if tel.enabled:
+                tel.fec_latency.labels(fec).observe(event.latency)
+        if not self.wants(event.flow_id, event.uid):
+            return
+        time = event.time if event.time is not None else 0.0
+        trace = self._trace_for(event.uid, event.flow_id, time)
+        trace.delivered = True
+        trace.root.end = time
+        trace.root.attributes["latency"] = event.latency
+        hop = self._open_hop.pop(event.uid, None)
+        if hop is not None and hop.end is None:
+            hop.end = time
+
+    def _on_hw_op(self, event: HWOpExecuted) -> None:
+        if self.nodes is not None and event.node not in self.nodes:
+            return
+        if not self.wants(event.flow_id, event.uid):
+            return
+        hz = event.clock_hz if event.clock_hz > 0 else 1.0
+        start = event.anchor_time + event.cycle_start / hz
+        end = event.anchor_time + event.cycle_end / hz
+        trace = self._trace_for(event.uid, event.flow_id, start)
+        parent: Optional[Span] = None
+        if event.parent_phase is not None:
+            for span in reversed(trace.spans):
+                if (
+                    span.kind == KIND_HW_PHASE
+                    and span.name == event.parent_phase
+                ):
+                    parent = span
+                    break
+        if parent is None:
+            parent = self._last_hop_at(trace, event.node)
+        kind = KIND_RTL if event.parent_phase is not None else KIND_HW_PHASE
+        trace.spans.append(
+            self._span(
+                parent_id=(parent or trace.root).span_id,
+                name=event.phase,
+                kind=kind,
+                start=start,
+                end=end,
+                clock_domain=CLOCK_CYCLES,
+                cycle_start=event.cycle_start,
+                cycle_end=event.cycle_end,
+                attributes={
+                    "node": event.node,
+                    "cycles": event.cycle_end - event.cycle_start,
+                },
+            )
+        )
+
+    def _last_hop_at(self, trace: Trace, node: str) -> Optional[Span]:
+        for span in reversed(trace.spans):
+            if span.kind == KIND_HOP and span.attributes.get("node") == node:
+                return span
+        return None
+
+    def _on_probe(self, event: OAMProbeCompleted) -> None:
+        trace = self._traces.get(event.uid)
+        if trace is None:
+            return
+        trace.probe = True
+        trace.fec = event.fec
+        trace.root.name = f"probe {event.uid}"
+        trace.root.attributes.update(
+            {"fec": event.fec, "reached": event.reached, "rtt": event.rtt}
+        )
+        if event.breach:
+            trace.root.annotations.append(
+                SpanAnnotation(
+                    time=event.time if event.time is not None else trace.end,
+                    label="slo-breach",
+                    detail=f"fec {event.fec} rtt {event.rtt}",
+                )
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+    def finalize(self) -> None:
+        """Close open spans, attach fault annotations, publish SLO
+        quantile gauges.  Idempotent."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for hop in self._open_hop.values():
+            if hop.end is None:
+                hop.end = hop.start
+        self._open_hop.clear()
+        for trace in self._traces.values():
+            if trace.root.end is None:
+                trace.root.end = trace.end
+            self._annotate_faults(trace)
+        for fec in sorted(self._latencies):
+            values = sorted(self._latencies[fec])
+            per_fec: Dict[str, float] = {}
+            for q in SLO_QUANTILES:
+                name = f"p{int(q * 100)}"
+                per_fec[name] = quantile(values, q)
+                if self.telemetry.enabled:
+                    self.telemetry.fec_latency_quantiles.labels(
+                        fec, name
+                    ).set(per_fec[name])
+            self.quantiles[fec] = per_fec
+
+    def _annotate_faults(self, trace: Trace) -> None:
+        t0, t1 = trace.start, trace.end
+        for window in self.fault_windows:
+            if not window.overlaps(t0, t1):
+                continue
+            at = min(max(window.start, t0), t1)
+            detail = window.target
+            if window.detail:
+                detail += f" ({window.detail})"
+            trace.root.annotations.append(
+                SpanAnnotation(
+                    time=at, label=f"fault:{window.fault}", detail=detail
+                )
+            )
+            for hop in trace.hop_spans:
+                if hop.attributes.get("node", "") in window.target:
+                    hop.annotations.append(
+                        SpanAnnotation(
+                            time=min(max(window.start, hop.start), hop.end or t1),
+                            label=f"fault:{window.fault}",
+                            detail=detail,
+                        )
+                    )
+
+    def detach(self) -> None:
+        """Stop recording: drop the sink, clear ``telemetry.spans``,
+        restore the telemetry switch."""
+        self.telemetry.events.remove_sink(self)
+        if self.telemetry.spans is self:
+            self.telemetry.spans = None
+        if not self._was_enabled:
+            self.telemetry.disable()
+
+    # -- queries -----------------------------------------------------------
+    def traces(
+        self,
+        flow: Optional[int] = None,
+        fec: Optional[str] = None,
+        include_probes: bool = True,
+    ) -> List[Trace]:
+        out = [
+            t
+            for t in self._traces.values()
+            if (flow is None or t.flow_id == flow)
+            and (fec is None or t.fec == fec)
+            and (include_probes or not t.probe)
+        ]
+        out.sort(key=lambda t: (t.start, t.uid))
+        return out
+
+    def trace_of(self, uid: int) -> Trace:
+        return self._traces[uid]
+
+    def slowest(self, n: int = 5) -> List[Trace]:
+        """The n delivered traces with the largest end-to-end latency."""
+        delivered = [t for t in self._traces.values() if t.delivered]
+        delivered.sort(key=lambda t: (-t.latency, t.uid))
+        return delivered[:n]
+
+    def summary(self) -> Dict[str, Any]:
+        traces = self.traces()
+        kinds: Dict[str, int] = {}
+        annotated = 0
+        for trace in traces:
+            for span in trace.all_spans():
+                kinds[span.kind] = kinds.get(span.kind, 0) + 1
+            if any(s.annotations for s in trace.all_spans()):
+                annotated += 1
+        return {
+            "sample_rate": self.sample_rate,
+            "traces": len(traces),
+            "sampled_out": self.sampled_out,
+            "delivered": sum(1 for t in traces if t.delivered),
+            "dropped": sum(1 for t in traces if t.dropped),
+            "probes": sum(1 for t in traces if t.probe),
+            "annotated": annotated,
+            "spans_by_kind": dict(sorted(kinds.items())),
+            "fec_latency_quantiles": {
+                fec: dict(per_fec)
+                for fec, per_fec in sorted(self.quantiles.items())
+            },
+        }
+
+
+# -- exporters ---------------------------------------------------------------
+_CATEGORY = {
+    KIND_PACKET: "packet",
+    KIND_HOP: "hop",
+    KIND_LABEL_OP: "label-op",
+    KIND_HW_PHASE: "hw-phase",
+    KIND_RTL: "rtl",
+}
+
+#: Minimum rendered slice width so zero-duration spans stay visible.
+_MIN_DUR_US = 0.001
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * 1e6, 3)
+
+
+def to_chrome_trace(traces: Iterable[Trace]) -> Dict[str, Any]:
+    """Render traces as a Chrome trace-event document (Perfetto JSON).
+
+    One trace becomes one "process" (pid = packet uid) whose slices
+    nest by time containment on a single thread: the root packet span
+    contains the hop spans, each hop contains its hardware phases, and
+    phases contain their RTL sub-spans.  Annotations become instant
+    events; software label ops too (they are points in sim time).
+    """
+    events: List[Dict[str, Any]] = []
+    for trace in sorted(traces, key=lambda t: (t.start, t.uid)):
+        pid = trace.uid
+        label = f"flow {trace.flow_id} packet {trace.uid}"
+        if trace.probe:
+            label = f"OAM probe {trace.uid} fec {trace.fec}"
+        events.append(
+            {
+                "cat": "__metadata",
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": label},
+            }
+        )
+        for span in trace.all_spans():
+            end = span.end if span.end is not None else span.start
+            args: Dict[str, Any] = {
+                k: v for k, v in sorted(span.attributes.items())
+            }
+            if span.cycle_start is not None:
+                args["cycle_start"] = span.cycle_start
+                args["cycle_end"] = span.cycle_end
+            base = {
+                "cat": _CATEGORY.get(span.kind, span.kind),
+                "name": span.name,
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            }
+            if span.kind == KIND_LABEL_OP:
+                events.append(
+                    {**base, "ph": "i", "s": "t", "ts": _us(span.start)}
+                )
+            else:
+                events.append(
+                    {
+                        **base,
+                        "ph": "X",
+                        "ts": _us(span.start),
+                        "dur": max(_us(end) - _us(span.start), _MIN_DUR_US),
+                    }
+                )
+            for note in span.annotations:
+                events.append(
+                    {
+                        "cat": "annotation",
+                        "name": note.label,
+                        "ph": "i",
+                        "s": "p",
+                        "pid": pid,
+                        "tid": 0,
+                        "ts": _us(note.time),
+                        "args": {"detail": note.detail, "span": span.name},
+                    }
+                )
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def export_chrome_trace(
+    traces: Iterable[Trace], stream: TextIO
+) -> int:
+    """Write the Chrome trace-event document, byte-stably.  Returns the
+    number of trace events written."""
+    doc = to_chrome_trace(traces)
+    stream.write(
+        json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    )
+    stream.write("\n")
+    return len(doc["traceEvents"])
+
+
+def spans_to_jsonl(traces: Iterable[Trace], stream: TextIO) -> int:
+    """Write one JSON line per span (schema v2).  Returns the number of
+    lines written."""
+    written = 0
+    for trace in sorted(traces, key=lambda t: (t.start, t.uid)):
+        for span in trace.all_spans():
+            record = span.as_dict()
+            record["v"] = JSONL_SCHEMA_VERSION
+            record["type"] = "span"
+            record["trace_id"] = trace.trace_id
+            record["uid"] = trace.uid
+            record["flow_id"] = trace.flow_id
+            record["fec"] = trace.fec
+            stream.write(json.dumps(record, sort_keys=True))
+            stream.write("\n")
+            written += 1
+    return written
+
+
+def render_summary(recorder: SpanRecorder, slowest: int = 5) -> str:
+    """The ``repro spans`` summary table, as a plain string."""
+    info = recorder.summary()
+    lines = ["span tracing summary", "--------------------"]
+    lines.append(
+        f"  traces: {info['traces']}  (sampled out: {info['sampled_out']}, "
+        f"rate {info['sample_rate']})"
+    )
+    lines.append(
+        f"  delivered: {info['delivered']}  dropped: {info['dropped']}  "
+        f"probes: {info['probes']}  fault-annotated: {info['annotated']}"
+    )
+    kinds = ", ".join(
+        f"{kind}={count}" for kind, count in info["spans_by_kind"].items()
+    )
+    lines.append(f"  spans: {kinds if kinds else '(none)'}")
+    if info["fec_latency_quantiles"]:
+        lines.append("  FEC latency SLO (seconds):")
+        for fec, per_fec in info["fec_latency_quantiles"].items():
+            quants = "  ".join(
+                f"{name}={value * 1e3:.3f}ms"
+                for name, value in sorted(per_fec.items())
+            )
+            lines.append(f"    {fec:20s} {quants}")
+    slow = recorder.slowest(slowest)
+    if slow:
+        lines.append(f"  slowest {len(slow)} traces:")
+        for trace in slow:
+            path = " > ".join(trace.path) or "(no hops)"
+            lines.append(
+                f"    uid={trace.uid:<6d} flow={trace.flow_id:<4d} "
+                f"{trace.latency * 1e3:8.3f}ms  {path}"
+            )
+    return "\n".join(lines)

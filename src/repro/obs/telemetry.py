@@ -36,6 +36,11 @@ class Telemetry:
         self.enabled = enabled
         self.registry = MetricsRegistry()
         self.events = EventLog()
+        #: The attached :class:`~repro.obs.spans.SpanRecorder`, or None.
+        #: Hardware nodes consult this to decide whether per-packet
+        #: phase events are wanted; with no recorder attached the hot
+        #: path pays nothing beyond the ``enabled`` test.
+        self.spans = None
         self._register_core_families()
 
     # -- core metric families ----------------------------------------------
@@ -155,6 +160,39 @@ class Telemetry:
             "Stale-marked forwarding entries awaiting refresh or flush",
             ("node", "table"),
         )
+        self.fec_latency = r.histogram(
+            "repro_fec_latency_seconds",
+            "End-to-end latency of delivered packets per FEC (SLO view)",
+            ("fec",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.fec_latency_quantiles = r.gauge(
+            "repro_fec_latency_quantile_seconds",
+            "Nearest-rank latency quantiles per FEC, published when a "
+            "span recorder finalizes",
+            ("fec", "quantile"),
+        )
+        self.oam_probes = r.counter(
+            "repro_oam_probes_total",
+            "LSP-ping probes sent by the OAM monitor, by outcome",
+            ("fec", "outcome"),
+        )
+        self.oam_rtt = r.histogram(
+            "repro_oam_rtt_seconds",
+            "Round-trip time of successful OAM probes per FEC",
+            ("fec",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self.oam_up = r.gauge(
+            "repro_oam_up",
+            "Last OAM probe verdict per FEC (1 = LSP answering)",
+            ("fec",),
+        )
+        self.slo_breaches = r.counter(
+            "repro_slo_breaches_total",
+            "OAM probes whose RTT exceeded the configured SLO",
+            ("fec",),
+        )
         self.model_evals = r.counter(
             "repro_model_evaluations_total",
             "Analytic cost-model evaluations, by model",
@@ -176,9 +214,11 @@ class Telemetry:
         return self
 
     def reset(self) -> None:
-        """Fresh registry and event log; the switch keeps its position."""
+        """Fresh registry and event log; the switch keeps its position.
+        Any attached span recorder is dropped with the old event log."""
         self.registry = MetricsRegistry()
         self.events = EventLog()
+        self.spans = None
         self._register_core_families()
 
 

@@ -6,13 +6,19 @@ import json
 import pytest
 
 from repro.obs.events import (
+    CLOCK_CYCLES,
+    CLOCK_SIM,
+    JSONL_SCHEMA_VERSION,
     CallbackSink,
     EventLog,
+    FilterSink,
+    FSMTransition,
     JSONLSink,
     LabelOpApplied,
     ListSink,
     PacketDropped,
     PacketForwarded,
+    read_jsonl,
 )
 
 
@@ -129,3 +135,79 @@ class TestJSONLSink:
         line = stream.getvalue().strip()
         keys = list(json.loads(line))
         assert keys == sorted(keys)
+
+    def test_lines_carry_schema_version_and_clock_domain(self):
+        stream = io.StringIO()
+        log = EventLog(clock=lambda: 0.5)
+        log.add_sink(JSONLSink(stream))
+        log.emit(_packet_event())
+        record = json.loads(stream.getvalue())
+        assert record["v"] == JSONL_SCHEMA_VERSION == 2
+        assert record["clock_domain"] == CLOCK_SIM
+
+    def test_cycles_domain_events_say_so(self):
+        stream = io.StringIO()
+        log = EventLog(clock=lambda: 0.5)
+        log.add_sink(JSONLSink(stream))
+        fsm = FSMTransition(fsm="search", src="IDLE", dst="COMPARE", cycle=12)
+        fsm.time = 12.0  # an RTL cycle number, not seconds
+        log.emit(fsm)
+        record = json.loads(stream.getvalue())
+        assert record["clock_domain"] == CLOCK_CYCLES
+        # the scheduler clock must NOT overwrite a cycle timestamp
+        assert record["time"] == 12.0
+
+
+class TestReadJSONL:
+    def test_reads_v2_lines_verbatim(self):
+        stream = io.StringIO()
+        log = EventLog(clock=lambda: 0.25)
+        log.add_sink(JSONLSink(stream))
+        log.emit(_packet_event())
+        stream.seek(0)
+        [record] = list(read_jsonl(stream))
+        assert record["v"] == 2
+        assert record["clock_domain"] == CLOCK_SIM
+
+    def test_backfills_v1_lines(self):
+        v1 = "\n".join([
+            json.dumps({"kind": "packet-forwarded", "time": 0.1}),
+            json.dumps({"kind": "fsm-transition", "time": 42}),
+            "",  # blank lines are skipped
+        ])
+        records = list(read_jsonl(io.StringIO(v1)))
+        assert [r["v"] for r in records] == [1, 1]
+        assert records[0]["clock_domain"] == CLOCK_SIM
+        assert records[1]["clock_domain"] == CLOCK_CYCLES
+
+
+class TestFilterSink:
+    def test_flow_allow_list(self):
+        inner = ListSink()
+        sink = FilterSink(inner, flows=[7])
+        sink.write(_packet_event(uid=1))       # flow_id 7
+        other = PacketDropped(node="x", uid=2, flow_id=9, reason="r")
+        sink.write(other)
+        assert [e.uid for e in inner.events] == [1]
+        assert sink.passed == 1 and sink.filtered == 1
+
+    def test_node_allow_list(self):
+        inner = ListSink()
+        sink = FilterSink(inner, nodes=["lsr-1"])
+        sink.write(_packet_event())            # node ler-a
+        sink.write(PacketDropped(node="lsr-1", uid=2, flow_id=7,
+                                 reason="r"))
+        assert [e.node for e in inner.events] == ["lsr-1"]
+
+    def test_event_without_the_attribute_is_filtered(self):
+        inner = ListSink()
+        sink = FilterSink(inner, flows=[7])
+        sink.write(FSMTransition(fsm="search", src="IDLE", dst="COMPARE", cycle=12))
+        assert len(inner) == 0 and sink.filtered == 1
+
+    def test_streams_through_no_buffering(self):
+        stream = io.StringIO()
+        sink = FilterSink(JSONLSink(stream), flows=[7])
+        sink.write(_packet_event(uid=1))
+        # the line is in the stream immediately, not at flush/close
+        assert json.loads(stream.getvalue())["uid"] == 1

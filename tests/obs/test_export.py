@@ -55,6 +55,79 @@ class TestPrometheus:
         assert "n_total 7\n" in to_prometheus(reg)
 
 
+class TestPrometheusEdgeCases:
+    """Escaping and histogram-shape corners of the exposition format."""
+
+    def test_label_value_with_quotes(self):
+        reg = MetricsRegistry()
+        reg.counter("q_total", "q", ("who",)).labels('say "hi"').inc()
+        assert 'who="say \\"hi\\""' in to_prometheus(reg)
+
+    def test_label_value_with_backslashes(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total", "b", ("path",)).labels("C:\\tmp\\x").inc()
+        assert 'path="C:\\\\tmp\\\\x"' in to_prometheus(reg)
+
+    def test_label_value_with_newlines(self):
+        reg = MetricsRegistry()
+        reg.counter("n_total", "n", ("msg",)).labels("two\nlines").inc()
+        text = to_prometheus(reg)
+        assert 'msg="two\\nlines"' in text
+        # the literal newline must never leak into the sample line
+        sample = [ln for ln in text.splitlines() if ln.startswith("n_total{")]
+        assert len(sample) == 1
+
+    def test_backslash_escaped_before_quote(self):
+        # the order of replacements matters: escaping the quote first
+        # would double-escape the backslash it introduces
+        reg = MetricsRegistry()
+        reg.counter("o_total", "o", ("v",)).labels('\\"').inc()
+        assert 'v="\\\\\\""' in to_prometheus(reg)
+
+    def test_empty_registry_snapshot_and_json(self):
+        reg = MetricsRegistry()
+        assert snapshot(reg) == {}
+        assert json.loads(to_json(reg)) == {}
+
+    def test_unobserved_histogram_omitted(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_seconds", "h", buckets=(0.1, 1.0))
+        # the family exists but has no samples: nothing renders
+        assert to_prometheus(reg) == ""
+
+    def test_histogram_bucket_ordering_and_cumulation(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram(
+            "lat_seconds", "lat", buckets=(0.01, 0.1, 1.0, 10.0)
+        )
+        for v in (0.005, 0.05, 0.5, 5.0, 50.0):
+            hist.observe(v)
+        text = to_prometheus(reg)
+        bucket_lines = [
+            ln for ln in text.splitlines()
+            if ln.startswith("lat_seconds_bucket")
+        ]
+        bounds = [
+            ln.split('le="')[1].split('"')[0] for ln in bucket_lines
+        ]
+        counts = [int(ln.rsplit(" ", 1)[1]) for ln in bucket_lines]
+        # finite bounds ascend and +Inf comes last
+        assert bounds == ["0.01", "0.1", "1", "10", "+Inf"]
+        # cumulative counts are monotonically non-decreasing and the
+        # +Inf bucket equals the observation count
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+        assert "lat_seconds_count 5" in text
+
+    def test_histogram_boundary_value_lands_in_its_bucket(self):
+        # le is inclusive: an observation exactly on a bound counts there
+        reg = MetricsRegistry()
+        hist = reg.histogram("edge_seconds", "edge", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        text = to_prometheus(reg)
+        assert 'edge_seconds_bucket{le="1"} 1' in text
+
+
 class TestJSON:
     def test_snapshot_shape(self):
         snap = snapshot(_demo_registry())
