@@ -409,6 +409,7 @@ def cmd_chaos(
     seed: int = 0,
     output: Optional[str] = None,
     audit: Optional[float] = None,
+    overload: Optional[str] = None,
 ) -> int:
     """Run a fault-injection scenario file and print its report.
 
@@ -434,6 +435,13 @@ def cmd_chaos(
         # the flag arms (or re-periods) the consistency auditor even
         # when the scenario file doesn't ask for it
         scenario.audit = {**(scenario.audit or {}), "period": audit}
+    if overload is not None:
+        # same idea: force overload protection on (or run the
+        # unprotected baseline) regardless of the scenario's own key
+        scenario.overload = {
+            **(scenario.overload or {}),
+            "enabled": overload == "on",
+        }
     try:
         with telemetry_session():
             report = run_scenario(scenario, seed=seed)
@@ -516,6 +524,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "'audit' key)",
     )
     parser.add_argument(
+        "--overload",
+        choices=["on", "off"],
+        default=None,
+        help="chaos only: force control-plane overload protection on "
+        "or run the unprotected bounded-FIFO baseline (overrides the "
+        "scenario's own 'overload.enabled' key)",
+    )
+    parser.add_argument(
         "--flow",
         metavar="ID",
         type=int,
@@ -570,6 +586,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             output=args.output,
             audit=args.audit,
+            overload=args.overload,
         )
     if args.command == "spans":
         return cmd_spans(

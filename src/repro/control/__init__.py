@@ -23,7 +23,13 @@ from repro.control.labels import LabelAllocator, LabelSpaceExhausted
 from repro.control.ldp import LDPProcess
 from repro.control.ldp_sessions import MessageLDPProcess
 from repro.control.cspf import CSPFError, cspf_path
-from repro.control.rsvp_te import RSVPTESignaler, SignalingError
+from repro.control.overload import (
+    IngressShedder,
+    MessageClass,
+    OverloadConfig,
+    PriorityControlQueue,
+)
+from repro.control.rsvp_te import RSVPTESignaler, SetupError, SignalingError
 from repro.control.cr_ldp import CRLDPSignaler
 from repro.control.frr import FastRerouteManager, ProtectedPath
 from repro.control.oam import (
@@ -46,6 +52,11 @@ __all__ = [
     "CSPFError",
     "RSVPTESignaler",
     "SignalingError",
+    "SetupError",
+    "OverloadConfig",
+    "PriorityControlQueue",
+    "IngressShedder",
+    "MessageClass",
     "CRLDPSignaler",
     "FastRerouteManager",
     "ProtectedPath",

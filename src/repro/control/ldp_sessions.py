@@ -25,11 +25,20 @@ introduction asks of MPLS.
 
 from __future__ import annotations
 
+import random
+import zlib
+
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.control.labels import LabelAllocator
+from repro.control.overload import (
+    CLASS_NAMES,
+    OverloadConfig,
+    PriorityControlQueue,
+    classify_message,
+)
 from repro.control.routing import LinkStateDatabase
 from repro.mpls.fec import FEC
 from repro.mpls.label import LabelOp
@@ -37,7 +46,11 @@ from repro.mpls.nhlfe import NHLFE
 from repro.mpls.router import LSRNode
 from repro.net.events import EventScheduler
 from repro.net.topology import Topology
-from repro.obs.events import LabelMappingInstalled, SessionStateChange
+from repro.obs.events import (
+    ControlMessageShed,
+    LabelMappingInstalled,
+    SessionStateChange,
+)
 from repro.obs.telemetry import get_telemetry
 
 
@@ -374,6 +387,9 @@ class MessageLDPProcess:
         retry_initial: float = 50e-3,
         retry_max: float = 2.0,
         max_retries: int = 20,
+        overload: Optional[OverloadConfig] = None,
+        retry_jitter: float = 0.0,
+        jitter_seed: int = 0,
     ) -> None:
         self.topology = topology
         self.scheduler = scheduler
@@ -397,6 +413,34 @@ class MessageLDPProcess:
         self.sessions_recovered: List[Tuple[float, str, str, float]] = []
         self.reconnect_attempts = 0
         self.reconnects_abandoned = 0
+        # -- seeded reconnect jitter (0 = exactly the legacy backoff) -------
+        if not (0.0 <= retry_jitter < 1.0):
+            raise ValueError("retry_jitter must be in [0, 1)")
+        self.retry_jitter = retry_jitter
+        self.jitter_seed = jitter_seed
+        self._jitter_rngs: Dict[Tuple[str, str], random.Random] = {}
+        # -- overload protection (None = legacy unbounded delivery) ---------
+        self.overload = overload
+        self.holds_expired = 0
+        if overload is not None:
+            self.queues: Dict[str, PriorityControlQueue] = {
+                name: PriorityControlQueue(
+                    overload.queue_capacity,
+                    overload.high_watermark,
+                    overload.low_watermark,
+                    prioritized=overload.enabled,
+                )
+                for name in sorted(self.speakers)
+            }
+            self._cpu_busy: Dict[str, bool] = {
+                name: False for name in self.speakers
+            }
+            #: (node, peer) -> time a KEEPALIVE from peer was last serviced
+            self._last_heard: Dict[Tuple[str, str], float] = {}
+        else:
+            self.queues = {}
+            self._cpu_busy = {}
+            self._last_heard = {}
 
     # -- transport ---------------------------------------------------------
     def send(self, msg: LDPMessage) -> None:
@@ -406,16 +450,105 @@ class MessageLDPProcess:
         tel = get_telemetry()
         if tel.enabled:
             tel.ldp_messages.labels(msg.kind.value).inc()
-        delay = (
-            self.topology.link(msg.src, msg.dst).delay_s
-            + self.processing_delay
-        )
-        self.scheduler.after(
-            delay, lambda: self.speakers[msg.dst].handle(msg)
-        )
+        if self.overload is None:
+            delay = (
+                self.topology.link(msg.src, msg.dst).delay_s
+                + self.processing_delay
+            )
+            self.scheduler.after(
+                delay, lambda: self.speakers[msg.dst].handle(msg)
+            )
+            return
+        # overload protection: propagation only, then the receiver's
+        # bounded control queue (processing happens at service time)
+        delay = self.topology.link(msg.src, msg.dst).delay_s
+        self.scheduler.after(delay, lambda: self._control_arrive(msg))
+
+    def _control_arrive(self, msg: LDPMessage) -> None:
+        """An LDP message reached ``msg.dst``'s control queue."""
+        queue = self.queues[msg.dst]
+        cls = classify_message(msg.kind)
+        accepted, dropped = queue.offer(msg, cls)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.control_queue_depth.labels(msg.dst).set(len(queue))
+            for victim, vcls, cause in dropped:
+                tel.control_queue_drops.labels(
+                    msg.dst, CLASS_NAMES[vcls], cause
+                ).inc()
+                event = ControlMessageShed(
+                    node=msg.dst,
+                    msg_class=CLASS_NAMES[vcls],
+                    cause=cause,
+                )
+                event.time = self.scheduler.now
+                tel.events.emit(event)
+        if not accepted:
+            return
+        if not self._cpu_busy[msg.dst]:
+            self._cpu_busy[msg.dst] = True
+            self.scheduler.after(
+                self.overload.service_time_s,
+                lambda: self._service(msg.dst),
+            )
+
+    def _service(self, name: str) -> None:
+        """``name``'s control CPU finishes one service slot."""
+        queue = self.queues[name]
+        head = queue.pop()
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.control_queue_depth.labels(name).set(len(queue))
+        if head is None:
+            self._cpu_busy[name] = False
+            return
+        msg, _cls = head
+        self.speakers[name].handle(msg)
+        if msg.kind is MsgType.KEEPALIVE:
+            self._last_heard[(name, msg.src)] = self.scheduler.now
+        if len(queue):
+            self.scheduler.after(
+                self.overload.service_time_s, lambda: self._service(name)
+            )
+        else:
+            self._cpu_busy[name] = False
+
+    # -- liveness (keepalive refresh + hold-timer expiry) -------------------
+    def _liveness_tick(self) -> None:
+        cfg = self.overload
+        if cfg is None:
+            return
+        now = self.scheduler.now
+        expired: Set[Tuple[str, str]] = set()
+        for name in sorted(self.speakers):
+            speaker = self.speakers[name]
+            for peer in sorted(speaker.sessions):
+                last = self._last_heard.get((name, peer))
+                if last is not None and now - last > cfg.hold_time:
+                    expired.add(self._pair(name, peer))
+        for a, b in sorted(expired):
+            self.holds_expired += 1
+            self.drop_session(a, b, reason="hold timer expired")
+        for name in sorted(self.speakers):
+            speaker = self.speakers[name]
+            if speaker.restarting:
+                continue
+            for peer in sorted(speaker.sessions):
+                self.send(LDPMessage(MsgType.KEEPALIVE, name, peer))
+        if (
+            cfg.horizon is not None
+            and now + cfg.keepalive_interval <= cfg.horizon
+        ):
+            self.scheduler.after(
+                cfg.keepalive_interval, self._liveness_tick
+            )
 
     def _session_up(self, a: str, b: str) -> None:
         self.sessions_established.append((self.scheduler.now, a, b))
+        if self.overload is not None:
+            # a fresh session counts as recently heard in both directions
+            self._last_heard[(a, b)] = self.scheduler.now
+            self._last_heard[(b, a)] = self.scheduler.now
         tel = get_telemetry()
         if tel.enabled:
             tel.ldp_sessions.inc()
@@ -476,8 +609,24 @@ class MessageLDPProcess:
             "down_at": self.scheduler.now,
         }
         self.scheduler.after(
-            self.retry_initial, lambda: self._try_reconnect(key)
+            self._jittered(key, self.retry_initial),
+            lambda: self._try_reconnect(key),
         )
+
+    def _jittered(self, key: Tuple[str, str], delay: float) -> float:
+        """Apply the seeded per-session jitter to a backoff delay.
+
+        With ``retry_jitter == 0`` (the default) the delay is returned
+        untouched, bit for bit -- legacy schedules stay byte-identical.
+        """
+        if not self.retry_jitter:
+            return delay
+        rng = self._jitter_rngs.get(key)
+        if rng is None:
+            salt = zlib.crc32(f"{key[0]}|{key[1]}".encode("utf-8"))
+            rng = random.Random((self.jitter_seed << 16) ^ salt)
+            self._jitter_rngs[key] = rng
+        return delay * (1.0 + self.retry_jitter * (2.0 * rng.random() - 1.0))
 
     def _try_reconnect(self, key: Tuple[str, str]) -> None:
         pending = self._reconnecting.get(key)
@@ -495,13 +644,20 @@ class MessageLDPProcess:
         if tel.enabled:
             tel.ldp_retries.labels(a, b).inc()
         if self.topology.has_link(a, b):
-            # re-run discovery: fresh HELLOs re-arm the INIT exchange
+            # re-run discovery: fresh HELLOs re-arm the INIT exchange.
+            # Forget hello state first -- an INIT lost to an overloaded
+            # control queue must not leave discovery half-armed, where
+            # retried HELLOs are no longer "first" and nobody INITs
+            self.speakers[a].heard.discard(b)
+            self.speakers[b].heard.discard(a)
             self.send(LDPMessage(MsgType.HELLO, a, b))
             self.send(LDPMessage(MsgType.HELLO, b, a))
         delay = min(
             self.retry_initial * (2.0 ** attempt), self.retry_max
         )
-        self.scheduler.after(delay, lambda: self._try_reconnect(key))
+        self.scheduler.after(
+            self._jittered(key, delay), lambda: self._try_reconnect(key)
+        )
 
     # -- graceful restart (RFC 3478 semantics) ------------------------------
     def begin_graceful_restart(self, name: str) -> Tuple[int, int]:
@@ -590,6 +746,11 @@ class MessageLDPProcess:
         self._started = True
         for speaker in self.speakers.values():
             speaker.start()
+        cfg = self.overload
+        if cfg is not None and cfg.horizon is not None:
+            self.scheduler.after(
+                cfg.keepalive_interval, self._liveness_tick
+            )
 
     def announce_fec(self, fec_id: str, fec: FEC, egress: str) -> FECState:
         """The egress originates a FEC (schedule after sessions form)."""

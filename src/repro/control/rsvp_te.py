@@ -19,15 +19,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.control.cspf import cspf_path
+from repro.control.cspf import CSPFError, cspf_path
 from repro.control.labels import LabelAllocator
 from repro.control.lsp import LSP
 from repro.mpls.fec import FEC
 from repro.mpls.label import IMPLICIT_NULL, LabelOp
 from repro.mpls.nhlfe import NHLFE
 from repro.mpls.router import LSRNode
+from repro.mpls.transaction import TableTransaction
 from repro.net.topology import Topology
-from repro.obs.events import LSPEvent
+from repro.obs.events import LSPEvent, LSPPreempted
 from repro.obs.telemetry import get_telemetry
 
 
@@ -43,6 +44,15 @@ class SignalingError(Exception):
     """LSP setup failed (admission control, bad route...)."""
 
 
+class SetupError(SignalingError):
+    """Admission control rejected the setup; nothing was reserved.
+
+    Raised *before* any label, table entry, or bandwidth reservation is
+    touched, so a caller catching it can retry (e.g. at a stronger
+    setup priority) against unchanged network state.
+    """
+
+
 @dataclass
 class SignalingStats:
     path_messages: int = 0
@@ -50,6 +60,12 @@ class SignalingStats:
     refresh_messages: int = 0
     teardowns: int = 0
     setup_failures: int = 0
+    #: victims rerouted make-before-break onto an alternate path
+    preempt_reroutes: int = 0
+    #: victims torn down because no alternate path existed
+    preempt_teardowns: int = 0
+    #: setups refused because preemption could not free enough headroom
+    preempt_declined: int = 0
 
 
 class RSVPTESignaler:
@@ -65,6 +81,12 @@ class RSVPTESignaler:
         self.lsps: Dict[str, LSP] = {}
         #: lsp name -> last refresh timestamp
         self._last_refresh: Dict[str, float] = {}
+        #: may admission preempt lower-priority LSPs?  (soft preemption:
+        #: victims are rerouted make-before-break when a path exists)
+        self.preemption_enabled = True
+        #: lsp name -> FEC steered onto it (needed to rewrite the
+        #: ingress FTN when a preemption reroutes the LSP)
+        self._fec_of: Dict[str, FEC] = {}
 
     # -- setup ---------------------------------------------------------
     def setup(
@@ -79,15 +101,36 @@ class RSVPTESignaler:
         php: bool = False,
         include_affinity: int = 0,
         exclude_affinity: int = 0,
+        setup_priority: int = 4,
+        hold_priority: Optional[int] = None,
     ) -> LSP:
         """Signal an LSP; returns it up and installed.
 
         Without an ``explicit_route``, CSPF computes one honouring the
         bandwidth/affinity constraints.  Admission control rejects the
-        setup (and reserves nothing) when any link lacks headroom.
+        setup (and reserves nothing) when any link lacks headroom --
+        unless :attr:`preemption_enabled` and the shortfall links carry
+        LSPs whose hold priority is numerically weaker than this
+        setup's ``setup_priority``, in which case those victims are
+        preempted (rerouted make-before-break when an alternate path
+        exists, torn down otherwise) to free the headroom.
+
+        Priorities follow RFC 3209: 0 is strongest, 7 weakest, and
+        ``hold_priority`` (defaulting to ``setup_priority``) must hold
+        at least as strongly as the LSP requests, i.e. be numerically
+        ``<= setup_priority`` -- otherwise two LSPs could preempt each
+        other forever.
         """
         if name in self.lsps:
             raise SignalingError(f"LSP {name!r} already exists")
+        if hold_priority is None:
+            hold_priority = setup_priority
+        if not (0 <= setup_priority <= 7 and 0 <= hold_priority <= 7):
+            raise SignalingError("priorities must be in 0..7")
+        if hold_priority > setup_priority:
+            raise SignalingError(
+                "hold_priority must be numerically <= setup_priority"
+            )
         if explicit_route is None:
             try:
                 explicit_route = cspf_path(
@@ -105,18 +148,89 @@ class RSVPTESignaler:
         self._validate_route(route, ingress, egress)
 
         # PATH downstream: verify hop adjacency and bandwidth headroom.
+        # A shortfall hop is fatal unless preemption can free it; the
+        # PATH message stops at the first hopeless hop, exactly as the
+        # non-preempting admission check always has.
+        shortfalls: List[Tuple[str, str]] = []
         for a, b in zip(route, route[1:]):
             self.stats.path_messages += 1
             attrs = self.topology.link(a, b)
             if attrs.reservable(a) + 1e-9 < bandwidth_bps:
+                if not (
+                    self.preemption_enabled
+                    and self._candidates_on(a, b, setup_priority, name)
+                ):
+                    self.stats.setup_failures += 1
+                    raise SetupError(
+                        f"admission control: link {a}-{b} has only "
+                        f"{attrs.reservable(a):g} bps unreserved, "
+                        f"{bandwidth_bps:g} requested"
+                    )
+                shortfalls.append((a, b))
+
+        if shortfalls:
+            # plan first (pure), execute only if the whole plan works:
+            # a declined preemption must leave zero partial state
+            plan = self._plan_preemption(
+                shortfalls, bandwidth_bps, setup_priority, name
+            )
+            if plan is None:
                 self.stats.setup_failures += 1
-                raise SignalingError(
-                    f"admission control: link {a}-{b} has only "
-                    f"{attrs.reservable(a):g} bps unreserved, "
-                    f"{bandwidth_bps:g} requested"
+                self.stats.preempt_declined += 1
+                raise SetupError(
+                    f"admission control: preemption at priority "
+                    f"{setup_priority} cannot free {bandwidth_bps:g} bps "
+                    f"for {name!r}"
                 )
+            avoid = {(a, b) if a <= b else (b, a) for a, b in shortfalls}
+            for victim in plan:
+                self._preempt(victim, avoid, by=name)
+            for a, b in shortfalls:
+                attrs = self.topology.link(a, b)
+                if attrs.reservable(a) + 1e-9 < bandwidth_bps:
+                    # the plan accounted for this; defensive only
+                    self.stats.setup_failures += 1
+                    raise SignalingError(
+                        f"preemption under-freed link {a}-{b} for {name!r}"
+                    )
 
         # RESV upstream: allocate labels, install state, reserve.
+        hop_labels = self._install_route(route, cos=cos, fec=fec, php=php)
+
+        # bandwidth reservation along the route
+        for a, b in zip(route, route[1:]):
+            self.topology.link(a, b).reserve(a, bandwidth_bps)
+
+        lsp = LSP(
+            name=name,
+            path=list(route),
+            hop_labels=hop_labels,
+            bandwidth_bps=bandwidth_bps,
+            cos=cos,
+            protocol="rsvp-te",
+            setup_priority=setup_priority,
+            hold_priority=hold_priority,
+        )
+        self.lsps[name] = lsp
+        self._last_refresh[name] = 0.0
+        if fec is not None:
+            self._fec_of[name] = fec
+        _note_lsp(
+            "setup",
+            name,
+            detail=f"{'->'.join(route)} @ {bandwidth_bps:g} bps",
+        )
+        return lsp
+
+    def _install_route(
+        self,
+        route: List[str],
+        cos: Optional[int],
+        fec: Optional[FEC],
+        php: bool,
+    ) -> List[Optional[int]]:
+        """RESV upstream: allocate labels, install ILM (and the ingress
+        FTN when a FEC is steered).  Returns the hop labels."""
         hop_labels: List[Optional[int]] = [None] * (len(route) - 1)
         downstream_label: Optional[int] = IMPLICIT_NULL if php else None
         for i in range(len(route) - 1, 0, -1):
@@ -148,11 +262,11 @@ class RSVPTESignaler:
         first_label = hop_labels[0]
         if fec is not None:
             if first_label == IMPLICIT_NULL:
-                self.nodes[ingress].ftn.install(
+                self.nodes[route[0]].ftn.install(
                     fec, NHLFE(op=LabelOp.NOOP, next_hop=route[1])
                 )
             else:
-                self.nodes[ingress].ftn.install(
+                self.nodes[route[0]].ftn.install(
                     fec,
                     NHLFE(
                         op=LabelOp.PUSH,
@@ -161,27 +275,156 @@ class RSVPTESignaler:
                         cos=cos,
                     ),
                 )
+        return hop_labels
 
-        # bandwidth reservation along the route
-        for a, b in zip(route, route[1:]):
-            self.topology.link(a, b).reserve(a, bandwidth_bps)
+    # -- preemption -------------------------------------------------------
+    def _candidates_on(
+        self, a: str, b: str, setup_priority: int, exclude: str
+    ) -> List[LSP]:
+        """Established LSPs on directed link ``a -> b`` preemptable by a
+        setup at ``setup_priority``: weakest hold first, then biggest
+        reservation (fewest victims), then name (determinism)."""
+        victims = [
+            lsp
+            for lsp in self.lsps.values()
+            if lsp.name != exclude
+            and lsp.hold_priority > setup_priority
+            and lsp.bandwidth_bps > 0.0
+            and (a, b) in lsp.links()
+        ]
+        victims.sort(
+            key=lambda lsp: (-lsp.hold_priority, -lsp.bandwidth_bps, lsp.name)
+        )
+        return victims
 
-        lsp = LSP(
-            name=name,
-            path=list(route),
-            hop_labels=hop_labels,
-            bandwidth_bps=bandwidth_bps,
-            cos=cos,
-            protocol="rsvp-te",
-        )
-        self.lsps[name] = lsp
-        self._last_refresh[name] = 0.0
-        _note_lsp(
-            "setup",
-            name,
-            detail=f"{'->'.join(route)} @ {bandwidth_bps:g} bps",
-        )
-        return lsp
+    def _plan_preemption(
+        self,
+        shortfalls: List[Tuple[str, str]],
+        bandwidth_bps: float,
+        setup_priority: int,
+        name: str,
+    ) -> Optional[List[LSP]]:
+        """Pick victims freeing every shortfall link, mutating nothing.
+
+        Returns None when even preempting every eligible victim leaves
+        some link short -- the declined path, taken before any state
+        has been touched.
+        """
+        chosen: List[LSP] = []
+        chosen_names: set = set()
+        for a, b in shortfalls:
+            attrs = self.topology.link(a, b)
+            freed = sum(
+                v.bandwidth_bps for v in chosen if (a, b) in v.links()
+            )
+            need = bandwidth_bps - attrs.reservable(a) - freed
+            if need <= 1e-9:
+                continue
+            for victim in self._candidates_on(a, b, setup_priority, name):
+                if victim.name in chosen_names:
+                    continue
+                chosen.append(victim)
+                chosen_names.add(victim.name)
+                need -= victim.bandwidth_bps
+                if need <= 1e-9:
+                    break
+            if need > 1e-9:
+                return None
+        return chosen
+
+    def _preempt(
+        self, victim: LSP, avoid_links: set, by: str
+    ) -> None:
+        """Soft-preempt ``victim``: reroute it make-before-break off the
+        ``avoid_links``, or tear it down when no alternate path exists.
+        Its old reservations are released either way."""
+        for a, b in victim.links():
+            self.topology.link(a, b).release(a, victim.bandwidth_bps)
+        try:
+            new_route = cspf_path(
+                self.topology,
+                victim.ingress,
+                victim.egress,
+                bandwidth_bps=victim.bandwidth_bps,
+                avoid_links=avoid_links,
+            )
+        except CSPFError:
+            new_route = None
+        if new_route is None:
+            # hard preemption: no alternate path, the victim goes down
+            self._remove_forwarding(victim)
+            self.lsps.pop(victim.name, None)
+            self._last_refresh.pop(victim.name, None)
+            self._fec_of.pop(victim.name, None)
+            victim.up = False
+            self.stats.preempt_teardowns += 1
+            self._note_preempt(
+                victim.name, by, "teardown", "no alternate route"
+            )
+            return
+        php = victim.hop_labels[-1] == IMPLICIT_NULL
+        fec = self._fec_of.get(victim.name)
+        old_path = list(victim.path)
+        old_labels = list(victim.hop_labels)
+        # make-before-break, atomically: the new path's state and the
+        # old path's removal land in one shadow-bank transaction, so
+        # the data plane never observes a half-moved LSP
+        tables = [
+            self.nodes[node_name].ilm
+            for node_name in sorted(set(old_path) | set(new_route))
+        ]
+        if fec is not None:
+            tables.append(self.nodes[victim.ingress].ftn)
+        for _ in zip(new_route, new_route[1:]):
+            self.stats.path_messages += 1
+        with TableTransaction(tables):
+            new_labels = self._install_route(
+                new_route, cos=victim.cos, fec=fec, php=php
+            )
+            for i in range(1, len(old_path)):
+                label = old_labels[i - 1]
+                node_name = old_path[i]
+                if label is None or label == IMPLICIT_NULL:
+                    continue
+                if label in self.nodes[node_name].ilm:
+                    self.nodes[node_name].ilm.remove(label)
+                self.allocators[node_name].release(label)
+        for a, b in zip(new_route, new_route[1:]):
+            self.topology.link(a, b).reserve(a, victim.bandwidth_bps)
+        victim.path = list(new_route)
+        victim.hop_labels = new_labels
+        self.stats.preempt_reroutes += 1
+        self._note_preempt(victim.name, by, "reroute", "->".join(new_route))
+
+    def _remove_forwarding(self, lsp: LSP) -> None:
+        """Remove an LSP's ILM entries (and ingress FTN) and free its
+        labels; reservations are the caller's business."""
+        route = lsp.path
+        for i in range(1, len(route)):
+            node_name = route[i]
+            label = lsp.hop_labels[i - 1]
+            if label is None or label == IMPLICIT_NULL:
+                continue
+            if label in self.nodes[node_name].ilm:
+                self.nodes[node_name].ilm.remove(label)
+            self.allocators[node_name].release(label)
+        fec = self._fec_of.get(lsp.name)
+        if fec is not None:
+            try:
+                self.nodes[lsp.ingress].ftn.remove(fec)
+            except KeyError:
+                pass
+
+    def _note_preempt(
+        self, name: str, by: str, mode: str, detail: str = ""
+    ) -> None:
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.lsp_preemptions.labels(mode).inc()
+            tel.events.emit(
+                LSPPreempted(name=name, by=by, mode=mode, detail=detail)
+            )
+        _note_lsp(f"preempt-{mode}", name, detail=detail)
 
     def _validate_route(self, route: List[str], ingress: str, egress: str) -> None:
         if len(route) < 2:
@@ -219,6 +462,7 @@ class RSVPTESignaler:
         if lsp is None:
             raise KeyError(f"unknown LSP {name!r}")
         self._last_refresh.pop(name, None)
+        self._fec_of.pop(name, None)
         self.stats.teardowns += 1
         route = lsp.path
         for i in range(1, len(route)):

@@ -36,10 +36,14 @@ coincide, since nested entries are created with equal TTLs.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Union
+from typing import Optional, Union
 
 from repro.core.device import STRATIX_EP1S40
-from repro.hw.model import FunctionalModifier, ScrubReport
+from repro.hw.model import (
+    FunctionalModifier,
+    ScrubReport,
+    StagingBackpressure,
+)
 from repro.mpls.forwarding import (
     Action,
     ForwardingDecision,
@@ -66,10 +70,16 @@ class HardwareLSRNode(LSRNode):
         role: RouterRole = RouterRole.LSR,
         interfaces=None,
         ib_depth: int = 1024,
+        staging_limit: Optional[int] = None,
     ) -> None:
         super().__init__(name, role, interfaces)
-        self.modifier = FunctionalModifier(ib_depth=ib_depth)
+        self.modifier = FunctionalModifier(
+            ib_depth=ib_depth, staging_limit=staging_limit
+        )
         self.modifier.set_router_type(role is RouterRole.LSR)
+        #: times the bounded bank-write queue pushed back during
+        #: info-base programming (see StagingBackpressure)
+        self.backpressure_stalls = 0
         self._mirrored_ilm_generation = -1
         #: destination (int) -> label cached at level 1, in LRU order
         #: (oldest first); bounded by the information base depth, with
@@ -116,9 +126,18 @@ class HardwareLSRNode(LSRNode):
                     continue  # NOOP entries stay software-only
                 # a label can arrive at any stack depth: mirror per level
                 for level in (1, 2, 3):
-                    cycles += self.modifier.bank_write_pair(
-                        level, label, stored_label, stored_op
-                    )
+                    try:
+                        cycles += self.modifier.bank_write_pair(
+                            level, label, stored_label, stored_op
+                        )
+                    except StagingBackpressure:
+                        # bounded command queue full: the control plane
+                        # yields until it drains, then retries the write
+                        self.modifier.bank_drain()
+                        self.backpressure_stalls += 1
+                        cycles += self.modifier.bank_write_pair(
+                            level, label, stored_label, stored_op
+                        )
         except Exception:
             self.modifier.bank_rollback()
             raise

@@ -21,7 +21,11 @@ the scenario's horizon, and distils the outcome into a
 * OAM probe statistics (per-FEC reachability, RTTs, SLO breaches,
   up/down transitions) when the scenario carries an ``oam`` key, and a
   span-tracing summary when the run was invoked with a sample rate --
-  both gated the same way.
+  both gated the same way,
+* control-plane overload statistics (queue accounting, hold-timer
+  expiries, session survival, ingress shedding, LSP preemption) when
+  the scenario carries an ``overload`` key -- gated the same way, so
+  pre-overload reports stay byte-identical.
 
 Everything in the report derives from simulated time and seeded
 randomness -- the same (scenario, seed) pair yields a byte-identical
@@ -65,6 +69,8 @@ class ChaosRun:
     schedule: List[Any] = field(default_factory=list)
     auditor: Any = None
     oam: Any = None
+    overload: Any = None
+    shedder: Any = None
 
 
 def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
@@ -82,6 +88,14 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
     for flow in scenario.traffic:
         network.attach_host(flow.egress, flow.prefix)
 
+    overload_cfg = None
+    if scenario.overload is not None:
+        from repro.control.overload import OverloadConfig
+
+        overload_cfg = OverloadConfig.from_dict(
+            scenario.overload, horizon=scenario.duration
+        )
+
     ldp = message_ldp = frr = None
     if scenario.control == "ldp":
         from repro.control.ldp import LDPProcess
@@ -92,9 +106,19 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
     elif scenario.control == "ldp-messages":
         from repro.control.ldp_sessions import MessageLDPProcess
 
-        message_ldp = MessageLDPProcess(
-            topology, network.nodes, network.scheduler
-        )
+        if overload_cfg is not None:
+            message_ldp = MessageLDPProcess(
+                topology,
+                network.nodes,
+                network.scheduler,
+                overload=overload_cfg,
+                retry_jitter=overload_cfg.retry_jitter,
+                jitter_seed=seed,
+            )
+        else:
+            message_ldp = MessageLDPProcess(
+                topology, network.nodes, network.scheduler
+            )
         message_ldp.start()
         for flow in scenario.traffic:
             message_ldp.announce_fec(
@@ -105,6 +129,8 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         from repro.control.rsvp_te import RSVPTESignaler
 
         signaler = RSVPTESignaler(topology, network.nodes)
+        if overload_cfg is not None:
+            signaler.preemption_enabled = overload_cfg.enabled
         frr = FastRerouteManager(signaler)
         flows = {flow.prefix: flow for flow in scenario.traffic}
         for entry in scenario.protection:
@@ -196,6 +222,31 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
                 else None
             ),
         )
+    shedder = None
+    if (
+        overload_cfg is not None
+        and overload_cfg.enabled
+        and message_ldp is not None
+        and scenario.traffic
+    ):
+        from repro.control.overload import IngressShedder, ShedEntry
+
+        mldp = message_ldp
+        shedder = IngressShedder(
+            [
+                ShedEntry(
+                    prefix=flow.prefix, cos=flow.cos, ingress=flow.ingress
+                )
+                for flow in scenario.traffic
+            ],
+            pressure=lambda: max(
+                q.fill_fraction for q in mldp.queues.values()
+            ),
+            config=overload_cfg,
+            scheduler=network.scheduler,
+        )
+        network.ingress_guard = shedder.guard
+        shedder.arm()
     return ChaosRun(
         scenario=scenario,
         seed=seed,
@@ -208,6 +259,8 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         schedule=schedule,
         auditor=auditor,
         oam=oam,
+        overload=overload_cfg,
+        shedder=shedder,
     )
 
 
@@ -269,6 +322,75 @@ def run_scenario(
         recorder.finalize()
         recorder.detach()
     return summarize(run, processed, sink, recorder=recorder)
+
+
+def _overload_section(run: ChaosRun) -> Dict[str, Any]:
+    """The gated ``overload`` report section (scenario has the key)."""
+    from repro.control.overload import CLASS_NAMES, MessageClass
+
+    cfg = run.overload
+    section: Dict[str, Any] = {"enabled": cfg.enabled}
+    mldp = run.message_ldp
+    if mldp is not None and mldp.queues:
+        queues = list(mldp.queues.values())
+        section["queues"] = {
+            "enqueued": sum(q.enqueued for q in queues),
+            "serviced": sum(q.serviced for q in queues),
+            "max_depth": max(q.max_depth for q in queues),
+            "dropped_by_class": {
+                CLASS_NAMES[c]: sum(q.dropped_by_class[c] for q in queues)
+                for c in MessageClass
+            },
+            "shed_by_class": {
+                CLASS_NAMES[c]: sum(q.shed_by_class[c] for q in queues)
+                for c in MessageClass
+            },
+        }
+        links = run.network.topology.links
+        up = sum(
+            1
+            for a, b in links
+            if b in mldp.speakers[a].sessions
+            and a in mldp.speakers[b].sessions
+        )
+        section["holds_expired"] = mldp.holds_expired
+        section["sessions"] = {
+            "links": len(links),
+            "up_at_end": up,
+            "lost": len(mldp.sessions_lost),
+            "recovered": len(mldp.sessions_recovered),
+        }
+    if run.shedder is not None:
+        shedder = run.shedder
+        section["shedding"] = {
+            "fecs": [
+                {
+                    "prefix": e.prefix,
+                    "cos": e.cos,
+                    "ingress": e.ingress,
+                    "shed_at_end": e.shed,
+                }
+                for e in shedder.entries
+            ],
+            "shed_events": [
+                {"time": _round(t), "prefix": p, "cos": c}
+                for t, p, c in shedder.shed_events
+            ],
+            "restore_events": [
+                {"time": _round(t), "prefix": p, "cos": c}
+                for t, p, c in shedder.restore_events
+            ],
+            "packets_shed": shedder.packets_shed,
+            "recovery_time_s": _round(shedder.recovery_time_s),
+        }
+    if run.frr is not None:
+        stats = run.frr.signaler.stats
+        section["preemption"] = {
+            "reroutes": stats.preempt_reroutes,
+            "teardowns": stats.preempt_teardowns,
+            "declined": stats.preempt_declined,
+        }
+    return section
 
 
 def summarize(
@@ -393,6 +515,8 @@ def summarize(
             if downtimes
             else None,
         }
+    if run.scenario.overload is not None:
+        report["overload"] = _overload_section(run)
     if injector.restarts:
         restarts = []
         for restart in injector.restarts:

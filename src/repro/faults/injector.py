@@ -190,6 +190,14 @@ class FaultInjector:
                     f"ib-bitflip targets software node {spec.target[0]!r}; "
                     "set \"hardware\": true"
                 )
+        if (
+            spec.kind is FaultKind.SIGNALING_STORM
+            and self.message_ldp is None
+            and self.frr is None
+        ):
+            raise ScenarioError(
+                "signaling-storm needs control = 'ldp-messages' or 'frr'"
+            )
 
     def schedule_fault(self, spec: FaultSpec) -> FaultRecord:
         """Arm one fault's inject (and heal, if any) on the scheduler."""
@@ -212,6 +220,7 @@ class FaultInjector:
             FaultKind.NODE_RESTART: self._inject_node_restart,
             FaultKind.LDP_SESSION_DROP: self._inject_session_drop,
             FaultKind.IB_BITFLIP: self._inject_bitflip,
+            FaultKind.SIGNALING_STORM: self._inject_signaling_storm,
         }[spec.kind]
         handler(record)
         tel = get_telemetry()
@@ -237,6 +246,7 @@ class FaultInjector:
             FaultKind.NODE_RESTART: self._heal_node_restart,
             FaultKind.LDP_SESSION_DROP: self._heal_noop,
             FaultKind.IB_BITFLIP: self._heal_bitflip,
+            FaultKind.SIGNALING_STORM: self._heal_signaling_storm,
         }[spec.kind](record)
         tel = get_telemetry()
         if tel.enabled:
@@ -582,6 +592,127 @@ class FaultInjector:
         record.detail += f"; scrub repaired {repaired}"
         self._recovered(record)
 
+    # -- signaling storms ---------------------------------------------------
+    def _storm_window(self, record: FaultRecord) -> float:
+        spec = record.spec
+        if spec.heal_at is not None:
+            return spec.heal_at - spec.at
+        return float(spec.params.get("window", 0.5))
+
+    def _storm_lsp_prefix(self, spec: FaultSpec) -> str:
+        return f"__storm-{spec.label}-{spec.at:g}"
+
+    def _inject_signaling_storm(self, record: FaultRecord) -> None:
+        """Flood the target's control plane with seeded bursts.
+
+        With message-level LDP: forged LABEL_MAPPINGs (unknown FECs --
+        harmless if processed, but each one occupies queue space and a
+        service slot) plus a HELLO flood, at seeded times across the
+        storm window.  With FRR/RSVP-TE: a seeded burst of LSP setup
+        attempts at seeded priorities, exercising admission control and
+        preemption.
+        """
+        spec = record.spec
+        target = spec.target[0]
+        window = self._storm_window(record)
+        start = self.scheduler.now
+        if self.message_ldp is not None:
+            from repro.control.ldp_sessions import LDPMessage, MsgType
+
+            neighbors = sorted(self.network.topology.neighbors(target))
+            if not neighbors:
+                record.skipped = True
+                record.detail = "target has no neighbors; nothing to flood"
+                return
+            mappings = int(spec.params.get("mappings", 2000))
+            hellos = int(spec.params.get("hellos", 100))
+            for i in range(mappings):
+                msg = LDPMessage(
+                    MsgType.LABEL_MAPPING,
+                    self.rng.choice(neighbors),
+                    target,
+                    fec_id=f"__storm-{target}-{i}",
+                    label=900_000 + i,
+                )
+                when = start + self.rng.uniform(0.0, window)
+                self.scheduler.at(
+                    when, lambda m=msg: self.message_ldp.send(m)
+                )
+            for i in range(hellos):
+                msg = LDPMessage(
+                    MsgType.HELLO, self.rng.choice(neighbors), target
+                )
+                when = start + self.rng.uniform(0.0, window)
+                self.scheduler.at(
+                    when, lambda m=msg: self.message_ldp.send(m)
+                )
+            record.detail = (
+                f"{mappings} mappings + {hellos} hellos over {window:g}s"
+            )
+            return
+        # FRR control plane: a burst of competing LSP setups
+        from repro.control.cspf import CSPFError, cspf_path
+        from repro.control.rsvp_te import SignalingError
+
+        signaler = self.frr.signaler
+        names = sorted(self.network.nodes)
+        others = [n for n in names if n != target]
+        setups = int(spec.params.get("setups", 20))
+        bandwidth = float(spec.params.get("bandwidth_bps", 1e6))
+        prefix = self._storm_lsp_prefix(spec)
+        attempted = succeeded = 0
+        for i in range(setups):
+            egress = self.rng.choice(others)
+            priority = self.rng.randrange(8)
+            attempted += 1
+            try:
+                route = cspf_path(
+                    self.network.topology, target, egress, bandwidth_bps=0.0
+                )
+                signaler.setup(
+                    f"{prefix}-{i}",
+                    target,
+                    egress,
+                    explicit_route=route,
+                    bandwidth_bps=bandwidth,
+                    setup_priority=priority,
+                )
+                succeeded += 1
+            except (SignalingError, CSPFError):
+                continue
+        record.detail = (
+            f"{attempted} setup attempts, {succeeded} admitted "
+            f"@ {bandwidth:g} bps"
+        )
+
+    def _heal_signaling_storm(self, record: FaultRecord) -> None:
+        spec = record.spec
+        target = spec.target[0]
+        if self.message_ldp is not None:
+            speaker = self.message_ldp.speakers[target]
+            neighbors = sorted(self.network.topology.neighbors(target))
+            up = all(n in speaker.sessions for n in neighbors)
+            if up:
+                # the flood never took a session down: recovered as of
+                # the moment it stopped
+                self._recovered(record)
+            # else finalize() back-fills from sessions_recovered
+            return
+        from repro.control.rsvp_te import SignalingError
+
+        signaler = self.frr.signaler
+        prefix = self._storm_lsp_prefix(spec)
+        torn = 0
+        for name in sorted(signaler.lsps):
+            if name.startswith(prefix):
+                try:
+                    signaler.teardown(name)
+                    torn += 1
+                except (KeyError, SignalingError):
+                    continue
+        record.detail += f"; {torn} storm LSPs torn down"
+        self._recovered(record)
+
     # -- timelines ----------------------------------------------------------
     def _mark_link(self, a: str, b: str, up: bool) -> None:
         key = (a, b) if a <= b else (b, a)
@@ -618,18 +749,34 @@ class FaultInjector:
             return
         recovered = list(self.message_ldp.sessions_recovered)
         for record in self.records:
-            if record.spec.kind is not FaultKind.LDP_SESSION_DROP:
+            if record.recovered_at is not None or record.skipped:
                 continue
-            if record.recovered_at is not None:
-                continue
-            want = tuple(sorted(record.spec.target))
-            for when, a, b, _downtime in recovered:
-                if (
-                    tuple(sorted((a, b))) == want
-                    and when >= record.injected_at
-                ):
-                    record.recovered_at = when
-                    break
+            if record.spec.kind is FaultKind.LDP_SESSION_DROP:
+                want = tuple(sorted(record.spec.target))
+                for when, a, b, _downtime in recovered:
+                    if (
+                        tuple(sorted((a, b))) == want
+                        and when >= record.injected_at
+                    ):
+                        record.recovered_at = when
+                        break
+            elif record.spec.kind is FaultKind.SIGNALING_STORM:
+                # the storm recovers when every session the flood took
+                # down has come back up
+                target = record.spec.target[0]
+                speaker = self.message_ldp.speakers[target]
+                neighbors = sorted(
+                    self.network.topology.neighbors(target)
+                )
+                if not all(n in speaker.sessions for n in neighbors):
+                    continue
+                times = [
+                    when
+                    for when, a, b, _downtime in recovered
+                    if target in (a, b) and when >= record.injected_at
+                ]
+                if times:
+                    record.recovered_at = max(times)
 
     @property
     def mttr_values(self) -> List[float]:

@@ -80,6 +80,7 @@ class FaultKind(str, Enum):
     NODE_RESTART = "node-restart"    #: warm control-plane-only restart
     LDP_SESSION_DROP = "ldp-session-drop"  #: session reset + backoff
     IB_BITFLIP = "ib-bitflip"        #: SEU in the hardware info base
+    SIGNALING_STORM = "signaling-storm"  #: seeded setup/hello flood
 
 
 #: kinds whose target is a link (two node names)
@@ -95,7 +96,12 @@ LINK_KINDS = frozenset(
 
 #: kinds whose target is a single node
 NODE_KINDS = frozenset(
-    {FaultKind.NODE_CRASH, FaultKind.NODE_RESTART, FaultKind.IB_BITFLIP}
+    {
+        FaultKind.NODE_CRASH,
+        FaultKind.NODE_RESTART,
+        FaultKind.IB_BITFLIP,
+        FaultKind.SIGNALING_STORM,
+    }
 )
 
 
@@ -189,6 +195,9 @@ class TrafficSpec:
     packet_size: int = 500
     start: float = 0.0
     stop: Optional[float] = None
+    #: class of service, 0 (lowest) .. 7; ingress load shedding sheds
+    #: the lowest-CoS FECs first
+    cos: int = 0
 
     @classmethod
     def from_dict(cls, raw: Mapping[str, Any]) -> "TrafficSpec":
@@ -202,6 +211,7 @@ class TrafficSpec:
                 rate_bps=float(raw.get("rate_bps", 1e6)),
                 packet_size=int(raw.get("packet_size", 500)),
                 start=float(raw.get("start", 0.0)),
+                cos=int(raw.get("cos", 0)),
                 stop=(
                     float(raw["stop"]) if raw.get("stop") is not None
                     else None
@@ -272,6 +282,10 @@ class Scenario:
     #: OAM monitor configuration ({"period": s, "start": s,
     #: "timeout": s, "slo_rtt_s": s}), or None to run without probes
     oam: Optional[Mapping[str, Any]] = None
+    #: control-plane overload protection (see
+    #: :class:`repro.control.overload.OverloadConfig`), or None to run
+    #: with the legacy unbounded control plane
+    overload: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.control not in ("ldp", "ldp-messages", "frr"):
@@ -310,6 +324,11 @@ class Scenario:
             ),
             oam=(
                 dict(raw["oam"]) if raw.get("oam") is not None else None
+            ),
+            overload=(
+                dict(raw["overload"])
+                if raw.get("overload") is not None
+                else None
             ),
         )
 
@@ -429,7 +448,13 @@ def _random_schedule(
         elif kind in LINK_KINDS:
             target = rng.choice(links)
         elif (
-            kind in (FaultKind.NODE_CRASH, FaultKind.NODE_RESTART) and core
+            kind
+            in (
+                FaultKind.NODE_CRASH,
+                FaultKind.NODE_RESTART,
+                FaultKind.SIGNALING_STORM,
+            )
+            and core
         ):
             target = (rng.choice(core),)
         else:  # node-scoped with no core nodes: nothing safe to break

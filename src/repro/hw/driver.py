@@ -27,6 +27,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.hdl.signal import Wire
 from repro.hdl.simulator import Component, Simulator
+from repro.hw.model import StagingBackpressure
 from repro.hw.modifier import LabelStackModifier
 from repro.hw.opcodes import (
     MgmtResult,
@@ -72,10 +73,21 @@ class ModifierDriver:
     """Issues operations against a :class:`LabelStackModifier` and
     reports exact cycle counts."""
 
-    def __init__(self, modifier: Optional[LabelStackModifier] = None, **kwargs) -> None:
+    def __init__(
+        self,
+        modifier: Optional[LabelStackModifier] = None,
+        staging_limit: Optional[int] = None,
+        **kwargs,
+    ) -> None:
         self.modifier = modifier if modifier is not None else LabelStackModifier(**kwargs)
         self.sim = self.modifier.sim
         self._pins = _WireDriver(self.sim, "pins")
+        if staging_limit is not None and staging_limit < 1:
+            raise ValueError("staging_limit must be >= 1")
+        #: bound on bank writes in flight between drains (None = legacy
+        #: unbounded staging); full queue raises StagingBackpressure
+        self.staging_limit = staging_limit
+        self._staged_since_drain = 0
         #: per-level staged pairs while a bank transaction is open
         self._staged_banks: Optional[List[List[Tuple[int, int, int]]]] = None
         self.total_cycles = 0
@@ -319,6 +331,7 @@ class ModifierDriver:
         if self._staged_banks is not None:
             raise RuntimeError("bank transaction already open")
         self._staged_banks = [[], [], []]
+        self._staged_since_drain = 0
 
     def bank_write_pair(
         self, level: int, index: int, new_label: int, op: LabelOp
@@ -330,6 +343,15 @@ class ModifierDriver:
             raise RuntimeError("no bank transaction open")
         if level not in (1, 2, 3):
             raise ValueError(f"level must be 1..3, got {level}")
+        if (
+            self.staging_limit is not None
+            and self._staged_since_drain >= self.staging_limit
+        ):
+            raise StagingBackpressure(
+                f"bank command queue full ({self.staging_limit} writes "
+                f"since last drain)"
+            )
+        self._staged_since_drain += 1
         mask = 0xFFFFFFFF if level == 1 else 0xFFFFF
         self._staged_banks[level - 1].append(
             (index & mask, new_label & 0xFFFFF, int(op))
@@ -342,9 +364,22 @@ class ModifierDriver:
         if self._staged_banks is None:
             raise RuntimeError("no bank transaction open")
         staged, self._staged_banks = self._staged_banks, None
+        self._staged_since_drain = 0
         for level, pairs in enumerate(staged, start=1):
             self.modifier.dp.info_base.level(level).load_pairs(pairs)
         return self._burn("BANK_SWAP", BANK_SWAP_CYCLES)
+
+    def bank_drain(self) -> int:
+        """Wait for the bounded bank-write command queue to empty.
+
+        Zero extra cycles: each pair\'s 3-cycle BANK_WRITE already
+        covers its drain into the shadow-bank memories; this only
+        re-opens the queue.  Returns how many writes were outstanding."""
+        if self._staged_banks is None:
+            raise RuntimeError("no bank transaction open")
+        drained = self._staged_since_drain
+        self._staged_since_drain = 0
+        return drained
 
     def bank_rollback(self) -> None:
         """Abandon the shadow banks (zero cycles: the live memories
@@ -352,6 +387,7 @@ class ModifierDriver:
         if self._staged_banks is None:
             raise RuntimeError("no bank transaction open")
         self._staged_banks = None
+        self._staged_since_drain = 0
 
     # -- information-base management ---------------------------------------
     def modify_pair(

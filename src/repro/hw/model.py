@@ -194,13 +194,36 @@ def scrub_level(
     return report
 
 
+class StagingBackpressure(RuntimeError):
+    """The bounded bank-write command queue is full.
+
+    The write port drains staged pairs into the shadow bank at a fixed
+    rate; when the control plane issues writes faster than the queue
+    bound (``staging_limit``) allows, the next write raises instead of
+    growing an unbounded staging list.  The caller must yield --
+    :meth:`FunctionalModifier.bank_drain` models waiting for the queue
+    to empty -- and retry the write.
+    """
+
+
 class FunctionalModifier:
     """Drop-in functional equivalent of
     :class:`~repro.hw.driver.ModifierDriver`."""
 
-    def __init__(self, ib_depth: int = 1024, stack_capacity: int = 8) -> None:
+    def __init__(
+        self,
+        ib_depth: int = 1024,
+        stack_capacity: int = 8,
+        staging_limit: Optional[int] = None,
+    ) -> None:
         self.ib_depth = ib_depth
         self.stack_capacity = stack_capacity
+        if staging_limit is not None and staging_limit < 1:
+            raise ValueError("staging_limit must be >= 1")
+        #: bound on bank writes in flight between drains (None = legacy
+        #: unbounded staging)
+        self.staging_limit = staging_limit
+        self._staged_since_drain = 0
         self._levels = [_Level(), _Level(), _Level()]
         #: shadow banks while a bank transaction is open, else None
         self._staged_levels: Optional[List[_Level]] = None
@@ -265,6 +288,7 @@ class FunctionalModifier:
         if self._staged_levels is not None:
             raise RuntimeError("bank transaction already open")
         self._staged_levels = [_Level(), _Level(), _Level()]
+        self._staged_since_drain = 0
 
     def bank_write_pair(
         self, level: int, index: int, new_label: int, op: LabelOp
@@ -276,6 +300,15 @@ class FunctionalModifier:
             raise RuntimeError("no bank transaction open")
         if level not in (1, 2, 3):
             raise ValueError(f"level must be 1..3, got {level}")
+        if (
+            self.staging_limit is not None
+            and self._staged_since_drain >= self.staging_limit
+        ):
+            raise StagingBackpressure(
+                f"bank command queue full ({self.staging_limit} writes "
+                f"since last drain)"
+            )
+        self._staged_since_drain += 1
         lvl = self._staged_levels[level - 1]
         if len(lvl.pairs) >= self.ib_depth:
             lvl.overflow = True
@@ -294,8 +327,21 @@ class FunctionalModifier:
             new.overflow = new.overflow or old.overflow
         self._levels = self._staged_levels
         self._staged_levels = None
+        self._staged_since_drain = 0
         self.total_cycles += BANK_SWAP_CYCLES
         return BANK_SWAP_CYCLES
+
+    def bank_drain(self) -> int:
+        """Wait for the bounded bank-write command queue to empty.
+
+        Zero extra cycles: each pair's 3-cycle write already covers its
+        drain into the shadow-bank RAM; this only re-opens the queue.
+        Returns how many writes were outstanding."""
+        if self._staged_levels is None:
+            raise RuntimeError("no bank transaction open")
+        drained = self._staged_since_drain
+        self._staged_since_drain = 0
+        return drained
 
     def bank_rollback(self) -> None:
         """Abandon the shadow banks (zero cycles: nothing was ever
@@ -303,6 +349,7 @@ class FunctionalModifier:
         if self._staged_levels is None:
             raise RuntimeError("no bank transaction open")
         self._staged_levels = None
+        self._staged_since_drain = 0
 
     def _scan(self, level: int, key: int):
         """Linear first-match scan; returns (position, label, op) or

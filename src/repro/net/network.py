@@ -126,6 +126,12 @@ class MPLSNetwork:
         #: crashed nodes (packets at them are dropped; their links are
         #: down) and the links each crash took out
         self._down_nodes: Dict[str, List[Tuple[str, str]]] = {}
+        #: optional ingress admission hook (overload load shedding):
+        #: called with (node, packet) for unlabelled packets before
+        #: lookup; returning True drops the packet as shed
+        self.ingress_guard: Optional[
+            Callable[[str, IPv4Packet], bool]
+        ] = None
 
     # -- wiring ----------------------------------------------------------
     def node(self, name: str) -> LSRNode:
@@ -188,6 +194,18 @@ class MPLSNetwork:
             node_name, packet
         ):
             self._deliver(node_name, packet)
+            return
+        if (
+            self.ingress_guard is not None
+            and isinstance(packet, IPv4Packet)
+            and self.ingress_guard(node_name, packet)
+        ):
+            self._record_drop(
+                self.scheduler.now,
+                node_name,
+                f"{node_name}: overload shed",
+                packet,
+            )
             return
         decision = node.receive(packet)
         # "Pop and continue": a pop whose NHLFE names no next hop (a

@@ -207,6 +207,40 @@ class StaleEntriesFlushed(Event):
     ftn_flushed: int = 0
 
 
+# -- control-plane overload protection ---------------------------------------
+@dataclass
+class ControlMessageShed(Event):
+    """A bounded control queue lost a message (shed, evicted, or tail
+    dropped) at ``node``."""
+
+    kind: ClassVar[str] = "control-shed"
+    node: str = ""
+    msg_class: str = ""  # liveness / teardown / setup
+    cause: str = ""  # watermark-shed / evicted / queue-full
+
+
+@dataclass
+class FECShed(Event):
+    """Ingress load shedding changed a FEC's admission state."""
+
+    kind: ClassVar[str] = "fec-shed"
+    node: str = ""
+    fec: str = ""
+    cos: int = 0
+    state: str = ""  # shed / restored
+
+
+@dataclass
+class LSPPreempted(Event):
+    """A higher-priority setup preempted an established LSP."""
+
+    kind: ClassVar[str] = "lsp-preempted"
+    name: str = ""
+    by: str = ""  # the preempting LSP
+    mode: str = ""  # reroute (make-before-break) / teardown
+    detail: str = ""
+
+
 @dataclass
 class InfoBaseScrubbed(Event):
     """A VERIFY_INFO-style scrub pass walked a node's information base

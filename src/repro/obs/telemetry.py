@@ -203,6 +203,29 @@ class Telemetry:
             "Modeled pipelined-vs-sequential speedup at a table size",
             ("n_entries",),
         )
+        # -- control-plane overload protection -----------------------------
+        # registered unconditionally so dashboards see pressure building
+        # even before overload protection is switched on
+        self.control_queue_depth = r.gauge(
+            "repro_control_queue_depth",
+            "Bounded control-message queue depth, per node",
+            ("node",),
+        )
+        self.control_queue_drops = r.counter(
+            "repro_control_queue_drops_total",
+            "Control messages lost to shedding/eviction/tail drop",
+            ("node", "msg_class", "cause"),
+        )
+        self.fecs_shed = r.gauge(
+            "repro_fecs_shed",
+            "FECs currently shed by ingress overload protection",
+            ("node",),
+        )
+        self.lsp_preemptions = r.counter(
+            "repro_lsp_preemptions_total",
+            "LSPs preempted by higher-priority setups, by outcome",
+            ("mode",),
+        )
 
     # -- switch ------------------------------------------------------------
     def enable(self) -> "Telemetry":

@@ -1,0 +1,260 @@
+"""Tests for RSVP-TE setup/hold priorities and soft preemption."""
+
+import pytest
+
+from repro.control.cspf import CSPFError, cspf_path
+from repro.control.rsvp_te import RSVPTESignaler, SetupError, SignalingError
+from repro.mpls.fec import PrefixFEC
+from repro.mpls.router import LSRNode, RouterRole
+from repro.net.topology import line, ring
+
+
+def _env(topo):
+    nodes = {name: LSRNode(name, RouterRole.LSR) for name in topo.nodes}
+    return nodes, RSVPTESignaler(topo, nodes)
+
+
+def _snapshot(topo, nodes, sig):
+    """Everything a failed setup must leave untouched."""
+    return (
+        {
+            (a, b, end): topo.link(a, b).reservable(end)
+            for a, b in topo.links
+            for end in (a, b)
+        },
+        {name: len(node.ilm) for name, node in nodes.items()},
+        {name: len(node.ftn) for name, node in nodes.items()},
+        sorted(sig.lsps),
+    )
+
+
+class TestPriorityValidation:
+    def test_priorities_must_be_0_to_7(self):
+        topo = ring(4)
+        _, sig = _env(topo)
+        with pytest.raises(SignalingError, match="0..7"):
+            sig.setup("t", "n0", "n2", setup_priority=8)
+        with pytest.raises(SignalingError, match="0..7"):
+            sig.setup("t", "n0", "n2", setup_priority=0, hold_priority=-1)
+
+    def test_hold_must_be_at_least_as_strong_as_setup(self):
+        topo = ring(4)
+        _, sig = _env(topo)
+        with pytest.raises(SignalingError, match="hold_priority"):
+            sig.setup("t", "n0", "n2", setup_priority=3, hold_priority=5)
+
+    def test_hold_defaults_to_setup(self):
+        topo = ring(4)
+        _, sig = _env(topo)
+        lsp = sig.setup("t", "n0", "n2", setup_priority=2)
+        assert lsp.setup_priority == 2 and lsp.hold_priority == 2
+
+    def test_setup_error_is_a_signaling_error(self):
+        assert issubclass(SetupError, SignalingError)
+
+
+class TestSoftPreemption:
+    def test_victim_rerouted_make_before_break(self):
+        topo = ring(4, bandwidth_bps=10e6)
+        nodes, sig = _env(topo)
+        low = sig.setup(
+            "low",
+            "n0",
+            "n2",
+            explicit_route=["n0", "n1", "n2"],
+            bandwidth_bps=8e6,
+            setup_priority=7,
+            fec=PrefixFEC("10.2.0.0/16"),
+        )
+        high = sig.setup(
+            "high",
+            "n0",
+            "n2",
+            explicit_route=["n0", "n1", "n2"],
+            bandwidth_bps=8e6,
+            setup_priority=0,
+        )
+        assert high.up and low.up
+        assert low.path == ["n0", "n3", "n2"]  # moved off the hot links
+        assert sig.stats.preempt_reroutes == 1
+        assert sig.stats.preempt_teardowns == 0
+        # reservations follow the move exactly
+        assert topo.link("n0", "n1").reservable("n0") == pytest.approx(2e6)
+        assert topo.link("n0", "n3").reservable("n0") == pytest.approx(2e6)
+        assert topo.link("n3", "n2").reservable("n3") == pytest.approx(2e6)
+        # the victim's ingress FTN was rewritten onto the new path
+        nhlfe = next(n for f, n in nodes["n0"].ftn)
+        assert nhlfe.next_hop == "n3"
+        assert nhlfe.out_label == low.hop_labels[0]
+        # the old transit label at n1 is gone, the new one at n3 works
+        assert low.hop_labels[0] in nodes["n3"].ilm
+
+    def test_victim_torn_down_without_alternate_path(self):
+        topo = line(3, bandwidth_bps=10e6)  # n0-n1-n2: no detour
+        nodes, sig = _env(topo)
+        low = sig.setup(
+            "low",
+            "n0",
+            "n2",
+            explicit_route=["n0", "n1", "n2"],
+            bandwidth_bps=8e6,
+            setup_priority=7,
+        )
+        high = sig.setup(
+            "high",
+            "n0",
+            "n2",
+            explicit_route=["n0", "n1", "n2"],
+            bandwidth_bps=8e6,
+            setup_priority=0,
+        )
+        assert "low" not in sig.lsps
+        assert low.up is False
+        assert sig.stats.preempt_teardowns == 1
+        # the victim's labels were removed: each hop holds exactly the
+        # winner's entry (the freed label numbers get reused)
+        assert len(nodes["n1"].ilm) == 1
+        assert len(nodes["n2"].ilm) == 1
+        assert high.hop_labels[0] in nodes["n1"].ilm
+        assert topo.link("n0", "n1").reservable("n0") == pytest.approx(2e6)
+
+    def test_equal_hold_priority_is_not_preemptable(self):
+        topo = ring(4, bandwidth_bps=10e6)
+        nodes, sig = _env(topo)
+        sig.setup(
+            "first",
+            "n0",
+            "n2",
+            explicit_route=["n0", "n1", "n2"],
+            bandwidth_bps=8e6,
+            setup_priority=4,
+        )
+        before = _snapshot(topo, nodes, sig)
+        with pytest.raises(SetupError, match="admission control"):
+            sig.setup(
+                "second",
+                "n0",
+                "n2",
+                explicit_route=["n0", "n1", "n2"],
+                bandwidth_bps=8e6,
+                setup_priority=4,  # hold 4 is not > setup 4
+            )
+        assert _snapshot(topo, nodes, sig) == before
+
+    def test_preemption_disabled_restores_plain_admission(self):
+        topo = ring(4, bandwidth_bps=10e6)
+        _, sig = _env(topo)
+        sig.preemption_enabled = False
+        sig.setup(
+            "low",
+            "n0",
+            "n2",
+            explicit_route=["n0", "n1", "n2"],
+            bandwidth_bps=8e6,
+            setup_priority=7,
+        )
+        with pytest.raises(SetupError):
+            sig.setup(
+                "high",
+                "n0",
+                "n2",
+                explicit_route=["n0", "n1", "n2"],
+                bandwidth_bps=8e6,
+                setup_priority=0,
+            )
+        assert "low" in sig.lsps
+        assert sig.stats.preempt_reroutes == 0
+
+
+class TestNoPartialState:
+    def test_midpath_rejection_reserves_nothing(self):
+        # first shortfall link carries a weak victim, the second a
+        # strong one: admission must fail at PATH time with the victim
+        # and every table byte-for-byte intact
+        topo = ring(4, bandwidth_bps=10e6)
+        nodes, sig = _env(topo)
+        sig.setup(
+            "weak",
+            "n0",
+            "n1",
+            explicit_route=["n0", "n1"],
+            bandwidth_bps=8e6,
+            setup_priority=7,
+        )
+        sig.setup(
+            "strong",
+            "n1",
+            "n2",
+            explicit_route=["n1", "n2"],
+            bandwidth_bps=8e6,
+            setup_priority=1,
+        )
+        before = _snapshot(topo, nodes, sig)
+        failures = sig.stats.setup_failures
+        with pytest.raises(SetupError):
+            sig.setup(
+                "new",
+                "n0",
+                "n2",
+                explicit_route=["n0", "n1", "n2"],
+                bandwidth_bps=8e6,
+                setup_priority=4,  # can preempt weak(7), not strong(1)
+            )
+        assert _snapshot(topo, nodes, sig) == before
+        assert sig.stats.setup_failures == failures + 1
+        assert sig.stats.preempt_reroutes == 0
+        assert sig.stats.preempt_teardowns == 0
+
+    def test_declined_plan_reserves_nothing_and_counts(self):
+        # every shortfall link has preemptable victims, but preempting
+        # all of them still cannot free enough: the planner declines
+        # before touching anything
+        topo = line(2, bandwidth_bps=10e6)
+        nodes, sig = _env(topo)
+        sig.setup(
+            "small",
+            "n0",
+            "n1",
+            explicit_route=["n0", "n1"],
+            bandwidth_bps=4e6,
+            setup_priority=7,
+        )
+        before = _snapshot(topo, nodes, sig)
+        with pytest.raises(SetupError, match="preemption at priority"):
+            sig.setup(
+                "huge",
+                "n0",
+                "n1",
+                explicit_route=["n0", "n1"],
+                bandwidth_bps=12e6,  # > link capacity even freed
+                setup_priority=0,
+            )
+        assert _snapshot(topo, nodes, sig) == before
+        assert sig.stats.preempt_declined == 1
+        assert "small" in sig.lsps  # the would-be victim is untouched
+
+
+class TestCSPFAvoidLinks:
+    def test_avoided_link_forces_the_detour(self):
+        topo = ring(4)
+        assert cspf_path(topo, "n0", "n2", avoid_links=[("n0", "n1")]) == [
+            "n0",
+            "n3",
+            "n2",
+        ]
+        # orientation does not matter
+        assert cspf_path(topo, "n0", "n2", avoid_links=[("n1", "n0")]) == [
+            "n0",
+            "n3",
+            "n2",
+        ]
+
+    def test_avoiding_every_path_fails(self):
+        topo = ring(4)
+        with pytest.raises(CSPFError):
+            cspf_path(
+                topo,
+                "n0",
+                "n2",
+                avoid_links=[("n0", "n1"), ("n0", "n3")],
+            )

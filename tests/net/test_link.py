@@ -137,3 +137,51 @@ class TestLink:
         # both arrive at 0.2: directions do not share the transmitter
         assert sorted(p for _, p in arrivals) == ["fwd", "rev"]
         assert all(t == pytest.approx(0.2) for t, _ in arrivals)
+
+
+class TestFailureAccounting:
+    """fail() loses what the channel held; drops are arrival refusals."""
+
+    def _slow_link(self):
+        sched = EventScheduler()
+        # 8 kbps: a 100-byte packet occupies the transmitter for 0.1s,
+        # so back-to-back sends pile up in the output queue
+        link = Link(
+            sched,
+            Interface("a", "if0"),
+            Interface("b", "if0"),
+            bandwidth_bps=8000.0,
+            delay_s=0.01,
+        )
+        return sched, link
+
+    def test_fail_flushes_queue_as_lost_not_dropped(self):
+        sched, link = self._slow_link()
+        for i in range(3):
+            assert link.forward.send(f"p{i}", 100)
+        # p0 is transmitting; p1 and p2 sit in the queue
+        link.fail()
+        assert link.forward.lost == 2
+        assert link.forward.dropped == 0
+        assert len(link.forward.queue) == 0
+
+    def test_send_while_down_is_a_drop_not_a_loss(self):
+        sched, link = self._slow_link()
+        link.fail()
+        assert not link.forward.send("p", 100)
+        assert link.forward.dropped == 1
+        assert link.forward.lost == 0
+
+    def test_heal_resets_nothing_but_reopens_the_channel(self):
+        sched, link = self._slow_link()
+        for i in range(3):
+            link.forward.send(f"p{i}", 100)
+        link.fail()
+        link.heal()
+        arrivals = []
+        link.forward.on_deliver = lambda i, p: arrivals.append(p)
+        assert link.forward.send("fresh", 100)
+        sched.run()
+        assert arrivals == ["fresh"]  # pre-failure packets stay gone
+        assert link.forward.lost == 2
+        assert link.forward.dropped == 0
