@@ -13,7 +13,7 @@ hundred entries -- the design-space point that explains the paper's
 choice.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_series
 from repro.core.device import STRATIX_EP1S40
 from repro.hdl.simulator import Component, Simulator
@@ -95,6 +95,13 @@ def test_cam_vs_ram_lookup_cycles_on_rtl(benchmark):
             title="Worst-position lookup on live RTL: RAM walk vs CAM",
         ),
     )
+    emit_json(
+        "cam_vs_ram_rtl",
+        metric="ram_walk_cycles_at_64_entries",
+        value=points[-1][1],
+        units="cycles",
+        cam_cycles=points[-1][2],
+    )
 
 
 def test_cam_vs_ram_design_space(benchmark):
@@ -129,6 +136,13 @@ def test_cam_vs_ram_design_space(benchmark):
             title="The information-base design space on the paper's "
             "device",
         ),
+    )
+    emit_json(
+        "cam_design_space",
+        metric="cam_logic_elements_at_1024_entries",
+        value=rows[-1][3],
+        units="logic elements",
+        cam_feasible_at_1024=rows[-1][5],
     )
     # shape: the paper's 1K-entry table cannot afford a CAM on this
     # device, while small tables could

@@ -13,7 +13,7 @@ the figure shows (w_index progression, r_index stopping at the hit,
 lookup_done pulse, outputs, no discard), and emits the waveform data.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_table
 from repro.hdl.waveform import WaveformRecorder
 from repro.hw.driver import ModifierDriver
@@ -97,3 +97,11 @@ def test_figure14_level1_write_and_lookup(benchmark):
         ),
     )
     emit("fig14_level1", table)
+    emit_json(
+        "fig14_level1",
+        metric="lookup_cycles",
+        value=result.cycles,
+        units="cycles",
+        label_out=result.label,
+        operation_out=int(result.op),
+    )

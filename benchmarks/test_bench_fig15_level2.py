@@ -9,7 +9,7 @@ Once again the lookup_done signal goes high after the read attempt and
 the packetdiscard signal remains low."
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_table
 from repro.hw.driver import ModifierDriver
 from repro.mpls.label import LabelOp
@@ -51,3 +51,10 @@ def test_figure15_level2_write_and_lookup(benchmark):
         "packetdiscard stays low",
     )
     emit("fig15_level2", table)
+    emit_json(
+        "fig15_level2",
+        metric="worst_lookup_cycles",
+        value=lookups[-1].cycles,
+        units="cycles",
+        pairs_stored=drv.modifier.dp.info_base.level(2).count,
+    )

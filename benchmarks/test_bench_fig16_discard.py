@@ -11,7 +11,7 @@ packetdiscard signals are sent high ... Signals label_out and
 operation_out remain unchanged."
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_table
 from repro.hdl.waveform import WaveformRecorder
 from repro.hw.driver import ModifierDriver
@@ -84,3 +84,10 @@ def test_figure16_lookup_miss_discards(benchmark):
         title="Figure 16 -- lookup of an absent label discards the packet",
     )
     emit("fig16_discard", table)
+    emit_json(
+        "fig16_discard",
+        metric="miss_lookup_cycles",
+        value=miss.cycles,
+        units="cycles",
+        discarded=miss.discarded,
+    )

@@ -15,7 +15,7 @@ reconvergence loses a delay-window of traffic; FRR loses only packets
 in flight on the dead link.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_table
 from repro.control.frr import FastRerouteManager
 from repro.control.ldp import LDPProcess
@@ -126,6 +126,14 @@ def test_failure_recovery_comparison(benchmark):
                 - results["LDP reconvergence (50 ms)"][1])
     frr_lost = (results["fast reroute (1 ms detect)"][0]
                 - results["fast reroute (1 ms detect)"][1])
+    emit_json(
+        "frr_recovery",
+        metric="frr_packets_lost",
+        value=frr_lost,
+        units="packets",
+        no_repair_lost=none_lost,
+        ldp_reconvergence_lost=ldp_lost,
+    )
     # shape: none >> reconvergence > FRR; FRR loses only in-flight pkts
     assert none_lost > ldp_lost > frr_lost
     assert frr_lost <= 5

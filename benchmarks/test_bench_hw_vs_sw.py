@@ -16,7 +16,7 @@ is its scaling weakness, so hashed software overtakes it at large
 tables -- reported honestly, with the crossover.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_table
 from repro.core.hybrid import compare_partitions
 from repro.core.timing import SoftwareCostModel
@@ -65,6 +65,13 @@ def test_partition_comparison_table(benchmark):
         "constant-time ops always favour hardware)"
     )
     emit("hw_vs_sw_partition", table)
+    emit_json(
+        "hw_vs_sw_partition",
+        metric="hashed_sw_crossover",
+        value=crossover,
+        units="entries",
+        speedup_vs_linear_at_1=round(cmp.points[0].speedup_vs_linear_sw, 2),
+    )
 
     # shape assertions: hw wins small tables vs linear sw by a clear margin
     assert cmp.points[0].speedup_vs_linear_sw > 2
@@ -97,6 +104,12 @@ def test_same_clock_comparison(benchmark):
             rows,
             title="Cycles per worst-case swap at identical clock rates",
         ),
+    )
+    emit_json(
+        "hw_vs_sw_same_clock",
+        metric="sw_over_hw_cycle_ratio_at_64_entries",
+        value=round(rows[3][2] / rows[3][1], 2),
+        units="ratio",
     )
     # at the same clock the dedicated datapath always wins: 3 cycles
     # per scanned entry vs a dozen instructions per entry in software

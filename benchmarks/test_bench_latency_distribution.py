@@ -9,7 +9,7 @@ early entries (the achievable best case if the control plane keeps hot
 LSPs first).
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.montecarlo import sample_swap_latency
 from repro.analysis.report import render_series
 
@@ -48,6 +48,14 @@ def test_latency_distribution_vs_table_size(benchmark):
             title="Swap latency distribution at 50 MHz "
             f"({SAMPLES} sampled packets per point)",
         ),
+    )
+    emit_json(
+        "latency_distribution",
+        metric="p99_cycles_uniform_at_1024_entries",
+        value=rows[-1][2],
+        units="cycles",
+        seed=1,
+        mean_cycles_uniform=rows[-1][1],
     )
     for n, mean_u, p99_u, worst, mean_s, _pps in rows:
         # mean ~ half the worst case under uniform hits

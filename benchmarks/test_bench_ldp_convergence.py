@@ -7,7 +7,7 @@ ordered label distribution scale with topology diameter -- the
 "software side" cost of the paper's hardware/software split.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_series, render_table
 from repro.control.ldp_sessions import MessageLDPProcess, MsgType
 from repro.mpls.fec import PrefixFEC
@@ -62,6 +62,13 @@ def test_convergence_vs_diameter(benchmark):
             f"({LINK_DELAY * 1e3:g} ms links)",
         ),
     )
+    emit_json(
+        "ldp_convergence",
+        metric="distribution_time_at_diameter_16",
+        value=rows[-1][3],
+        units="ms",
+        mapping_msgs=rows[-1][2],
+    )
     # shape: ordered distribution is one propagation per hop, so the
     # convergence time grows linearly with the diameter
     times = [r[3] for r in rows]
@@ -113,4 +120,10 @@ def test_distribution_order_is_egress_first(benchmark):
             rows,
             title="Ordered label distribution on an 8-ring (egress n4)",
         ),
+    )
+    emit_json(
+        "ldp_ordered_install",
+        metric="full_install_time",
+        value=rows[-1][1],
+        units="ms",
     )

@@ -9,7 +9,7 @@ traffic; the per-hop work is measured and priced with the software
 cost model.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_series, render_table
 from repro.control.ldp import LDPProcess
 from repro.core.timing import SoftwareCostModel
@@ -115,6 +115,14 @@ def test_per_hop_work_vs_rib_size(benchmark):
             title="Per-packet forwarding work across the 3-hop path: "
             "IP LPM vs MPLS label switching",
         ),
+    )
+    emit_json(
+        "mpls_vs_ip",
+        metric="ip_over_mpls_cycle_ratio_at_513_prefixes",
+        value=round(rows[-1][3] / rows[-1][4], 2),
+        units="ratio",
+        ip_cycles_per_packet=rows[-1][3],
+        mpls_cycles_per_packet=rows[-1][4],
     )
     # shape: IP work grows with the RIB, MPLS stays flat
     ip_scans = [r[1] for r in rows]

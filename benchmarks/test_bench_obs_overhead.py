@@ -3,8 +3,10 @@
 The data plane's deal with the observability layer: when telemetry is
 disabled, a packet costs exactly one ``get_telemetry()`` lookup and one
 ``enabled`` boolean per instrumentation site, and nothing is emitted.
-Span tracing (PR 4) must ride inside that budget -- the capture gate
-short-circuits on the same boolean the cycle-delta block reads.
+Span tracing (PR 4) and flow accounting (PR 6) must ride inside that
+budget -- the capture gates short-circuit on the same boolean the
+cycle-delta block reads, and the flow hooks only test ``tel.flows``
+after that boolean has already passed.
 
 This bench proves it with a :class:`Telemetry` subclass that counts
 every read of ``enabled``: a full hardware-network run with telemetry
@@ -87,6 +89,7 @@ def test_disabled_telemetry_hot_path_contract(benchmark):
     # nothing observable happened: no events, no metric samples
     assert tel.events.emitted == 0
     assert tel.spans is None
+    assert tel.flows is None
     # and the cost stayed inside the audited per-hop boolean budget --
     # a regression here means someone added an unguarded telemetry read
     # (or an eager span check) to the per-packet path

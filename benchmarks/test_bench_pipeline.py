@@ -8,7 +8,7 @@ each table size -- and shows that once the linear search dominates, the
 modifier stage *is* the pipeline and the gain evaporates.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_series
 from repro.core.pipeline import compare_pipeline
 
@@ -41,6 +41,13 @@ def test_pipeline_speedup_vs_table_size(benchmark):
         ),
     )
     speedups = [p.speedup for p in cmp.points]
+    emit_json(
+        "pipeline_speedup",
+        metric="speedup_at_1_entry",
+        value=round(speedups[0], 2),
+        units="ratio",
+        speedup_at_1024_entries=round(speedups[-1], 3),
+    )
     # shape: meaningful gain for small tables, none once search dominates
     assert speedups[0] > 1.5
     assert speedups[-1] < 1.01

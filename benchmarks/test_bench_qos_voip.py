@@ -16,7 +16,7 @@ latency.
 
 import pytest
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_table
 from repro.control.ldp import LDPProcess
 from repro.mpls.fec import CoSFEC, PrefixFEC
@@ -103,6 +103,16 @@ def test_voip_under_congestion(benchmark):
     fifo = results["best effort (FIFO)"]
     prio = results["strict priority"]
     wfq = results["WFQ (voice weight 8)"]
+    emit_json(
+        "qos_voip",
+        metric="priority_voice_loss",
+        value=prio["voice_loss"],
+        units="fraction",
+        fifo_voice_loss=round(fifo["voice_loss"], 4),
+        fifo_voice_mean_ms=round(fifo["voice_mean_ms"], 2),
+        priority_voice_mean_ms=round(prio["voice_mean_ms"], 2),
+        wfq_voice_loss=round(wfq["voice_loss"], 4),
+    )
     # shape: best effort hurts voice badly; CoS-aware disciplines fix it
     assert fifo["voice_loss"] > 0.2
     assert prio["voice_loss"] == 0.0

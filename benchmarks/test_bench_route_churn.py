@@ -8,7 +8,7 @@ RTL) how many route changes per second the modifier can absorb at a
 given forwarding load -- the headroom an operator has for LSP churn.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_series
 from repro.core.device import STRATIX_EP1S40
 from repro.hw.model import FunctionalModifier, search_cycles
@@ -66,5 +66,13 @@ def test_route_churn_headroom(benchmark):
     assert add == 3
     # shape: headroom shrinks monotonically with forwarding load
     headrooms = [r[3] for r in rows]
+    emit_json(
+        "route_churn",
+        metric="route_changes_per_s_at_idle",
+        value=headrooms[0],
+        units="changes/s",
+        headroom_at_500k_pps=headrooms[-1],
+        packet_cycles=packet_cycles,
+    )
     assert headrooms == sorted(headrooms, reverse=True)
     assert headrooms[0] > headrooms[-1]

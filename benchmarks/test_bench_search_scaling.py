@@ -9,7 +9,7 @@ lookup -- the design alternative the paper's linear-scan memory
 architecture trades away.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_series
 from repro.analysis.throughput import estimate_throughput
 from repro.core.timing import SoftwareCostModel
@@ -43,6 +43,12 @@ def test_search_is_linear_on_rtl(benchmark):
             [[n, c, 3 * n + 5] for n, c in points],
             title="Linear-time search on the RTL",
         ),
+    )
+    emit_json(
+        "search_scaling_rtl",
+        metric="miss_search_cycles_at_256_entries",
+        value=points[-1][1],
+        units="cycles",
     )
 
 
@@ -83,6 +89,13 @@ def test_search_latency_and_throughput_consequences(benchmark):
             "(50 MHz clock)",
         ),
     )
+    emit_json(
+        "search_scaling_throughput",
+        metric="worst_case_pps_at_1024_entries",
+        value=rows[-1][3],
+        units="packets/s",
+        avg_case_pps=rows[-1][5],
+    )
     # the shape: throughput collapses roughly as 1/n for large tables
     pps = [row[3] for row in rows]
     assert pps == sorted(pps, reverse=True)
@@ -118,5 +131,11 @@ def test_linear_vs_hashed_lookup_crossover(benchmark):
             rows,
             title=f"Linear vs hashed lookup (crossover at n={crossover})",
         ),
+    )
+    emit_json(
+        "search_linear_vs_hash",
+        metric="crossover_entries",
+        value=crossover,
+        units="entries",
     )
     assert crossover is not None and crossover <= 64

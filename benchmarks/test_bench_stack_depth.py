@@ -9,7 +9,7 @@ and the software engine's cost as stacks deepen, justifying the
 3-level hardware budget.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_series
 from repro.hw.driver import ModifierDriver
 from repro.mpls.forwarding import ForwardingEngine
@@ -59,6 +59,13 @@ def test_update_cost_per_stack_depth_on_rtl(benchmark):
             title="Update cost vs stack depth on the RTL",
         ),
     )
+    emit_json(
+        "stack_depth_rtl",
+        metric="update_cycles_any_depth",
+        value=points[0][1],
+        units="cycles",
+        depths_measured=len(points),
+    )
     # depth-independence: every depth costs the same
     costs = {c for _, c in points}
     assert len(costs) == 1
@@ -97,6 +104,12 @@ def test_software_cost_grows_with_depth(benchmark):
             rows,
             title="Software engine work vs stack depth",
         ),
+    )
+    emit_json(
+        "stack_depth_software",
+        metric="sw_swaps_per_1000_packets",
+        value=rows[0][1],
+        units="operations",
     )
     assert all(row[1] == 1000 for row in rows)
 

@@ -14,7 +14,7 @@ exact agreement; the pytest-benchmark timing shows the simulator's wall
 cost for the headline composite.
 """
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.cycles import measure_table6
 from repro.analysis.report import render_table
 from repro.hw.driver import ModifierDriver
@@ -41,6 +41,13 @@ def test_table6_measured_on_rtl(benchmark):
         title="Table 6 -- processing times in worst-case clock cycles",
     )
     emit("table6_cycles", table)
+    emit_json(
+        "table6_cycles",
+        metric="rows_matching_paper",
+        value=sum(1 for r in rows if r.matches),
+        units="rows",
+        total_rows=len(rows),
+    )
     for row in rows:
         assert row.matches, f"{row.operation}: {row.expected} != {row.measured}"
     measured = {r.operation: r.measured for r in rows}
@@ -69,6 +76,12 @@ def test_table6_search_formula_sweep(benchmark):
         title="Table 6 search row: measured vs formula",
     )
     emit("table6_search_sweep", table)
+    emit_json(
+        "table6_search_sweep",
+        metric="miss_search_cycles_at_256_pairs",
+        value=points[-1][1],
+        units="cycles",
+    )
     for n, measured, formula in points:
         assert measured == formula
 

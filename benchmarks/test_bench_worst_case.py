@@ -13,7 +13,7 @@ and the full cycle-accurate RTL -- all three must agree at 6167.
 
 import pytest
 
-from benchmarks._util import emit
+from benchmarks._util import emit, emit_json
 from repro.analysis.report import render_table
 from repro.core.device import STRATIX_EP1S40
 from repro.core.timing import worst_case_scenario
@@ -57,6 +57,13 @@ def test_worst_case_analytic_model(benchmark):
             "cycles, ~0.1233 ms)",
         ),
     )
+    emit_json(
+        "worst_case_breakdown",
+        metric="total_cycles",
+        value=wc.total,
+        units="cycles",
+        milliseconds_at_50mhz=round(wc.seconds * 1e3, 4),
+    )
     assert wc.total == PAPER_TOTAL
     assert wc.seconds * 1e3 == pytest.approx(PAPER_MS, abs=5e-4)
 
@@ -83,4 +90,11 @@ def test_worst_case_rtl(benchmark):
             ],
             title="Worst case composite: paper vs cycle-accurate RTL",
         ),
+    )
+    emit_json(
+        "worst_case_rtl",
+        metric="total_cycles",
+        value=total,
+        units="cycles",
+        milliseconds_at_50mhz=round(seconds * 1e3, 4),
     )

@@ -13,6 +13,11 @@
   profile of a Table 6 measurement
 * ``trace``       -- emit the structured event stream of the
   quickstart scenario as JSON Lines
+* ``flows``       -- run a scenario with flow accounting armed: top
+  talkers, the ingress->egress traffic matrix, alert history, and
+  byte-stable ``--export``/``--matrix``/``--prom`` artifacts
+* ``bench-report``-- merge the BENCH_*.json benchmark artifacts into
+  one summary table
 * ``all``         -- every regeneration command above in sequence
 
 Every command returns a process exit code: 0 on success, 1 when a
@@ -146,6 +151,36 @@ def cmd_device() -> int:
     return 0
 
 
+# -- export plumbing ---------------------------------------------------------
+# every command that writes a file reports unwritable paths the same
+# way: `error: cannot write <path>: <reason>` on stderr, exit code 1.
+
+def _open_output(path: str) -> Optional[TextIO]:
+    """Open an export file for writing; on failure print the standard
+    error message and return None (callers turn that into exit 1)."""
+    try:
+        return open(path, "w", encoding="utf-8")
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _write_output(path: str, write: Callable[[TextIO], None]) -> bool:
+    """Write an export file through ``write(handle)``; on failure print
+    the standard error message and return False."""
+    stream = _open_output(path)
+    if stream is None:
+        return False
+    try:
+        write(stream)
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+        return False
+    finally:
+        stream.close()
+    return True
+
+
 # -- telemetry commands ------------------------------------------------------
 # `stats` and `trace` are observability views, not paper-result
 # regenerators, so they live outside COMMANDS (and outside `all`).
@@ -273,11 +308,13 @@ def cmd_trace(
     from repro.obs import FilterSink, JSONLSink, telemetry_session
 
     with telemetry_session() as tel:
-        try:
-            stream: TextIO = open(output, "w") if output else sys.stdout
-        except OSError as exc:
-            print(f"error: cannot write {output}: {exc}", file=sys.stderr)
-            return 1
+        if output:
+            maybe_stream = _open_output(output)
+            if maybe_stream is None:
+                return 1
+            stream: TextIO = maybe_stream
+        else:
+            stream = sys.stdout
         jsonl = JSONLSink(stream)
         if flows or nodes:
             sink = tel.events.add_sink(
@@ -391,11 +428,9 @@ def cmd_spans(
                 f"latency={lat} path={'>'.join(t.path)}"
             )
     if export:
-        try:
-            with open(export, "w", encoding="utf-8") as handle:
-                export_chrome_trace(traces, handle)
-        except OSError as exc:
-            print(f"error: cannot write {export}: {exc}", file=sys.stderr)
+        if not _write_output(
+            export, lambda handle: export_chrome_trace(traces, handle)
+        ):
             return 1
         print(
             f"spans: {label!r}: exported {len(traces)} traces -> {export}",
@@ -450,11 +485,7 @@ def cmd_chaos(
         return 1
     text = report.to_json()
     if output:
-        try:
-            with open(output, "w", encoding="utf-8") as handle:
-                handle.write(text)
-        except OSError as exc:
-            print(f"error: cannot write {output}: {exc}", file=sys.stderr)
+        if not _write_output(output, lambda handle: handle.write(text)):
             return 1
     else:
         sys.stdout.write(text)
@@ -468,6 +499,154 @@ def cmd_chaos(
         file=sys.stderr,
     )
     return 0
+
+
+def cmd_flows(
+    scenario_path: Optional[str],
+    seed: int = 0,
+    top: int = 10,
+    export: Optional[str] = None,
+    matrix: Optional[str] = None,
+    prom: Optional[str] = None,
+) -> int:
+    """Run a scenario with flow accounting armed and render the
+    top-talkers view, the traffic matrix, and the alert history.
+
+    Flow accounting is forced on even when the scenario file has no
+    ``flows`` key (defaults apply); alert rules run only if the file
+    declares them.  ``--export`` writes the flow records, matrix
+    snapshots, and alert transitions as JSON Lines; ``--matrix`` the
+    snapshots as one JSON document; ``--prom`` the final Prometheus
+    exposition.  All three exports are byte-stable for a seeded
+    scenario (the CI flows-smoke step compares two runs with ``cmp``).
+    """
+    from repro.faults import Scenario, ScenarioError, run_scenario
+    from repro.obs import telemetry_session, to_prometheus
+    from repro.obs.alerts import render_alert_history
+    from repro.obs.flows import (
+        flows_to_jsonl,
+        matrices_to_json,
+        render_flow_summary,
+    )
+
+    if scenario_path is None:
+        print("error: flows needs a scenario file "
+              "(e.g. examples/chaos_flow_alerts.json)", file=sys.stderr)
+        return 1
+    try:
+        scenario = Scenario.load(scenario_path)
+    except OSError as exc:
+        print(f"error: cannot read {scenario_path}: {exc}", file=sys.stderr)
+        return 1
+    except ScenarioError as exc:
+        print(f"error: bad scenario: {exc}", file=sys.stderr)
+        return 1
+    if scenario.flows is None:
+        scenario.flows = {}
+    try:
+        with telemetry_session() as tel:
+            report = run_scenario(scenario, seed=seed)
+            exposition = to_prometheus(tel.registry)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    accountant = report.flows
+    print(render_flow_summary(accountant, report.collector, top=top))
+    if report.alert_engine is not None:
+        print()
+        print(render_alert_history(report.alert_engine))
+    if export:
+        records = accountant.all_records()
+        matrices = (
+            report.collector.matrices if report.collector is not None else ()
+        )
+        history = (
+            report.alert_engine.history
+            if report.alert_engine is not None
+            else ()
+        )
+        if not _write_output(
+            export,
+            lambda handle: flows_to_jsonl(
+                records, handle, matrices, history
+            ),
+        ):
+            return 1
+        print(
+            f"flows: {scenario.name!r} seed={seed}: exported "
+            f"{len(records)} records -> {export}",
+            file=sys.stderr,
+        )
+    if matrix:
+        if not _write_output(
+            matrix,
+            lambda handle: handle.write(
+                matrices_to_json(
+                    report.collector.matrices
+                    if report.collector is not None
+                    else []
+                )
+            ),
+        ):
+            return 1
+        print(f"flows: matrix snapshots -> {matrix}", file=sys.stderr)
+    if prom:
+        if not _write_output(
+            prom, lambda handle: handle.write(exposition)
+        ):
+            return 1
+        print(f"flows: Prometheus exposition -> {prom}", file=sys.stderr)
+    return 0
+
+
+def cmd_bench_report(results_dir: Optional[str] = None) -> int:
+    """Merge the ``BENCH_<name>.json`` artifacts into one summary table.
+
+    Reads every machine-readable benchmark record under
+    ``benchmarks/results/`` (or ``results_dir``) and renders them
+    sorted by name, so a whole benchmark run can be scanned -- or
+    diffed against a previous one -- at a glance.
+    """
+    import glob
+    import json
+    import os
+
+    directory = results_dir or os.path.join("benchmarks", "results")
+    paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    if not paths:
+        print(
+            f"error: no BENCH_*.json files under {directory} "
+            "(run the benchmarks first: pytest benchmarks/)",
+            file=sys.stderr,
+        )
+        return 1
+    rows = []
+    bad = 0
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            bad += 1
+            continue
+        value = record.get("value")
+        if isinstance(value, float):
+            value = f"{value:g}"
+        seed = record.get("seed")
+        rows.append([
+            record.get("name", os.path.basename(path)),
+            record.get("metric", "?"),
+            value,
+            record.get("units", ""),
+            seed if seed is not None else "-",
+        ])
+    print(render_table(
+        ["benchmark", "metric", "value", "units", "seed"],
+        rows,
+        title=f"Benchmark summary ({len(rows)} records from {directory})",
+    ))
+    return 1 if bad else 0
 
 
 COMMANDS: Dict[str, Callable[[], int]] = {
@@ -487,25 +666,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=[*COMMANDS, "all", "stats", "trace", "chaos", "spans"],
+        choices=[
+            *COMMANDS, "all", "stats", "trace", "chaos", "spans",
+            "flows", "bench-report",
+        ],
         help="which result to regenerate (or: stats / trace for the "
         "telemetry views, chaos to run a fault scenario, spans to "
-        "trace one at span granularity)",
+        "trace one at span granularity, flows for flow accounting / "
+        "traffic matrix / alerts, bench-report to merge the "
+        "BENCH_*.json benchmark artifacts)",
     )
     parser.add_argument(
         "scenario",
         nargs="?",
         default=None,
-        help="chaos/spans: path to a JSON fault scenario "
+        help="chaos/spans/flows: path to a JSON fault scenario "
         "(see examples/chaos_*.json; spans falls back to the "
-        "quickstart scenario)",
+        "quickstart scenario); bench-report: the results directory "
+        "(default benchmarks/results)",
     )
     parser.add_argument(
         "--seed",
         type=int,
         default=0,
-        help="chaos/spans: seed for the randomized schedule and fault "
-        "randomness (default 0)",
+        help="chaos/spans/flows: seed for the randomized schedule and "
+        "fault randomness (default 0)",
     )
     parser.add_argument(
         "-o", "--output",
@@ -565,8 +750,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--export",
         metavar="FILE",
         default=None,
-        help="spans only: write the traces as Chrome trace-event JSON "
-        "(open in Perfetto or chrome://tracing)",
+        help="spans: write the traces as Chrome trace-event JSON "
+        "(open in Perfetto or chrome://tracing); flows: write the "
+        "flow records, matrix snapshots and alert transitions as "
+        "JSON Lines",
     )
     parser.add_argument(
         "--slowest",
@@ -574,6 +761,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=5,
         help="spans only: list the N slowest traces (default 5)",
+    )
+    parser.add_argument(
+        "--top",
+        metavar="N",
+        type=int,
+        default=10,
+        help="flows only: list the N heaviest talkers (default 10)",
+    )
+    parser.add_argument(
+        "--matrix",
+        metavar="FILE",
+        default=None,
+        help="flows only: write all traffic-matrix snapshots as one "
+        "JSON document",
+    )
+    parser.add_argument(
+        "--prom",
+        metavar="FILE",
+        default=None,
+        help="flows only: write the run's final Prometheus exposition",
     )
     args = parser.parse_args(argv)
     if args.command == "stats":
@@ -588,6 +795,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             audit=args.audit,
             overload=args.overload,
         )
+    if args.command == "flows":
+        return cmd_flows(
+            args.scenario,
+            seed=args.seed,
+            top=args.top,
+            export=args.export,
+            matrix=args.matrix,
+            prom=args.prom,
+        )
+    if args.command == "bench-report":
+        return cmd_bench_report(args.scenario)
     if args.command == "spans":
         return cmd_spans(
             args.scenario,

@@ -202,6 +202,11 @@ class LDPProcess:
             if label != IMPLICIT_NULL:
                 self.allocators[name].release(label)
         self.bindings.remove(binding)
+        tel = get_telemetry()
+        if tel.enabled and tel.flows is not None:
+            # the FEC's forwarding state is gone: finish the flow
+            # records still accounted to it
+            tel.flows.close_fec(str(getattr(binding.fec, "prefix", binding.fec)))
 
     def reconverge(self) -> None:
         """Recompute every binding after a topology change (the model's

@@ -37,6 +37,8 @@ def _note_lsp(event: str, name: str, detail: str = "") -> None:
     tel = get_telemetry()
     if tel.enabled:
         tel.lsp_events.labels(event).inc()
+        if tel.flows is not None:
+            tel.flows.note_lsp(name, event, detail)
         tel.events.emit(LSPEvent(name=name, event=event, detail=detail))
 
 
@@ -462,7 +464,12 @@ class RSVPTESignaler:
         if lsp is None:
             raise KeyError(f"unknown LSP {name!r}")
         self._last_refresh.pop(name, None)
-        self._fec_of.pop(name, None)
+        fec = self._fec_of.pop(name, None)
+        if fec is not None:
+            tel = get_telemetry()
+            if tel.enabled and tel.flows is not None:
+                # finish the flow records riding the torn-down FEC
+                tel.flows.close_fec(str(getattr(fec, "prefix", fec)))
         self.stats.teardowns += 1
         route = lsp.path
         for i in range(1, len(route)):

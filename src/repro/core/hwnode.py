@@ -254,6 +254,12 @@ class HardwareLSRNode(LSRNode):
             if delta:
                 tel.hw_cycles.labels(self.name, "data").inc(delta)
                 tel.hw_packet_cycles.labels(self.name).observe(delta)
+                # flow accounting attributes the cycle delta to this
+                # packet's flow record; rides the guard already taken
+                if tel.flows is not None:
+                    tel.flows.record_hw_cycles(
+                        self.name, inner.flow_id, delta
+                    )
         self.observe(packet, decision)
         if capture:
             self._emit_phases(tel, inner.uid, inner.flow_id)

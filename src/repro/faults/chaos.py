@@ -25,7 +25,11 @@ the scenario's horizon, and distils the outcome into a
 * control-plane overload statistics (queue accounting, hold-timer
   expiries, session survival, ingress shedding, LSP preemption) when
   the scenario carries an ``overload`` key -- gated the same way, so
-  pre-overload reports stay byte-identical.
+  pre-overload reports stay byte-identical,
+* flow-accounting totals, top talkers and the final traffic matrix
+  when the scenario carries a ``flows`` key, plus the alert engine's
+  rule set and full raise/clear history under an ``alerts`` key --
+  both gated the same way.
 
 Everything in the report derives from simulated time and seeded
 randomness -- the same (scenario, seed) pair yields a byte-identical
@@ -71,6 +75,11 @@ class ChaosRun:
     oam: Any = None
     overload: Any = None
     shedder: Any = None
+    #: the armed FlowAccountant / MatrixCollector / AlertEngine when
+    #: the scenario carries ``flows`` (and ``alerts``) keys
+    flows: Any = None
+    collector: Any = None
+    alert_engine: Any = None
 
 
 def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
@@ -247,6 +256,50 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         )
         network.ingress_guard = shedder.guard
         shedder.arm()
+    accountant = collector = alert_engine = None
+    if scenario.flows is not None:
+        from repro.obs.alerts import AlertEngine
+        from repro.obs.flows import FlowAccountant, MatrixCollector
+
+        cfg = dict(scenario.flows)
+        accountant = FlowAccountant(
+            active_timeout=float(cfg.get("active_timeout", 1.0)),
+            idle_timeout=float(cfg.get("idle_timeout", 0.25)),
+            capacity=int(cfg.get("capacity", 4096)),
+            flow_fecs={
+                source.flow_id: flow.prefix
+                for flow, source in zip(scenario.traffic, sources)
+            },
+            # runtime flow ids come from a process-global counter;
+            # export the scenario flow index instead so flow-record
+            # exports are byte-stable across runs
+            flow_ids={
+                source.flow_id: i for i, source in enumerate(sources)
+            },
+        )
+        if scenario.alerts is not None:
+            alert_engine = AlertEngine(
+                dict(scenario.alerts).get("rules", [])
+            )
+        bandwidths = {
+            (ch.src.node, ch.dst.node): ch.bandwidth_bps
+            for link in network.links.values()
+            for ch in (link.forward, link.reverse)
+        }
+        period = float(cfg.get("matrix_period", 0.1))
+        collector = MatrixCollector(
+            accountant,
+            network.scheduler,
+            bandwidths=bandwidths,
+            period=period,
+            start=(
+                float(cfg["matrix_start"])
+                if cfg.get("matrix_start") is not None
+                else None
+            ),
+            stop=scenario.duration,
+            alerts=alert_engine,
+        )
     return ChaosRun(
         scenario=scenario,
         seed=seed,
@@ -261,6 +314,9 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         oam=oam,
         overload=overload_cfg,
         shedder=shedder,
+        flows=accountant,
+        collector=collector,
+        alert_engine=alert_engine,
     )
 
 
@@ -272,6 +328,12 @@ class ChaosReport:
     #: The :class:`~repro.obs.spans.SpanRecorder` of a traced run
     #: (``sample_rate`` was given), for export; not part of the JSON.
     recorder: Any = None
+    #: The run's FlowAccountant / MatrixCollector / AlertEngine when
+    #: the scenario carried a ``flows`` key, for export and rendering;
+    #: not part of the JSON.
+    flows: Any = None
+    collector: Any = None
+    alert_engine: Any = None
 
     def to_json(self) -> str:
         return json.dumps(self.data, sort_keys=True, indent=2) + "\n"
@@ -321,6 +383,9 @@ def run_scenario(
     if recorder is not None:
         recorder.finalize()
         recorder.detach()
+    if run.flows is not None:
+        run.flows.finalize()
+        run.flows.detach()
     return summarize(run, processed, sink, recorder=recorder)
 
 
@@ -390,6 +455,25 @@ def _overload_section(run: ChaosRun) -> Dict[str, Any]:
             "teardowns": stats.preempt_teardowns,
             "declined": stats.preempt_declined,
         }
+    return section
+
+
+def _flows_section(run: ChaosRun) -> Dict[str, Any]:
+    """The gated ``flows`` report section (scenario has the key)."""
+    accountant = run.flows
+    section: Dict[str, Any] = dict(accountant.summary())
+    section["top_talkers"] = accountant.top_talkers(5)
+    collector = run.collector
+    if collector is not None:
+        section["matrix_snapshots"] = len(collector.matrices)
+        if collector.latest is not None:
+            section["final_matrix"] = collector.latest.as_dict()
+        section["peak_link_utilization"] = [
+            {"src": src, "dst": dst, "utilization": _round(util)}
+            for (src, dst), util in sorted(
+                collector.peak_utilization().items()
+            )
+        ]
     return section
 
 
@@ -517,6 +601,10 @@ def summarize(
         }
     if run.scenario.overload is not None:
         report["overload"] = _overload_section(run)
+    if run.scenario.flows is not None and run.flows is not None:
+        report["flows"] = _flows_section(run)
+        if run.alert_engine is not None:
+            report["alerts"] = run.alert_engine.summary()
     if injector.restarts:
         restarts = []
         for restart in injector.restarts:
@@ -637,4 +725,10 @@ def summarize(
         for event in sink.events:
             kinds[event.kind] = kinds.get(event.kind, 0) + 1
         report["events"] = dict(sorted(kinds.items()))
-    return ChaosReport(report, recorder=recorder)
+    return ChaosReport(
+        report,
+        recorder=recorder,
+        flows=run.flows,
+        collector=run.collector,
+        alert_engine=run.alert_engine,
+    )

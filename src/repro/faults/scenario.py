@@ -286,6 +286,15 @@ class Scenario:
     #: :class:`repro.control.overload.OverloadConfig`), or None to run
     #: with the legacy unbounded control plane
     overload: Optional[Mapping[str, Any]] = None
+    #: flow accounting / traffic-matrix configuration
+    #: ({"active_timeout": s, "idle_timeout": s, "capacity": n,
+    #: "matrix_period": s, "matrix_start": s}), or None to run without
+    #: the accountant (older reports stay byte-identical)
+    flows: Optional[Mapping[str, Any]] = None
+    #: alerting rules ({"rules": [{"name", "signal", "threshold",
+    #: "clear", "description"}, ...]}), or None for no alert engine;
+    #: requires ``flows`` (the engine evaluates on the collector tick)
+    alerts: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.control not in ("ldp", "ldp-messages", "frr"):
@@ -296,6 +305,11 @@ class Scenario:
             raise ScenarioError("a scenario needs at least one flow")
         if self.control == "frr" and not self.protection:
             raise ScenarioError("frr control needs a 'protection' list")
+        if self.alerts is not None and self.flows is None:
+            raise ScenarioError(
+                "'alerts' needs 'flows': the alert engine is evaluated "
+                "on the traffic-matrix collector tick"
+            )
 
     # -- construction -------------------------------------------------------
     @classmethod
@@ -329,6 +343,12 @@ class Scenario:
                 dict(raw["overload"])
                 if raw.get("overload") is not None
                 else None
+            ),
+            flows=(
+                dict(raw["flows"]) if raw.get("flows") is not None else None
+            ),
+            alerts=(
+                dict(raw["alerts"]) if raw.get("alerts") is not None else None
             ),
         )
 

@@ -178,6 +178,13 @@ class LSRNode:
             )
         else:
             out = decision.packet
+            labels_out = stack_labels(out) if out is not None else ()
+            # flow accounting rides the same guard: no extra `enabled`
+            # read, one None test when no accountant is attached
+            if tel.flows is not None:
+                tel.flows.record_packet(
+                    self.name, inner.flow_id, packet.length, labels_out
+                )
             tel.events.emit(
                 PacketForwarded(
                     node=self.name,
@@ -185,7 +192,7 @@ class LSRNode:
                     flow_id=inner.flow_id,
                     action=decision.action.value,
                     labels_in=labels_in,
-                    labels_out=stack_labels(out) if out is not None else (),
+                    labels_out=labels_out,
                     ttl_in=ttl_in,
                     next_hop=decision.next_hop,
                 )

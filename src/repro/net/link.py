@@ -183,6 +183,12 @@ class SimplexChannel:
             tel.link_tx_bytes.labels(self.src.node, self.dst.node).inc(
                 size_bytes
             )
+            # per-interval utilization accounting for the traffic-matrix
+            # collector; rides the existing guard
+            if tel.flows is not None:
+                tel.flows.record_link_tx(
+                    self.src.node, self.dst.node, size_bytes
+                )
         if self.loss_rate and self._loss_rng.random() < self.loss_rate:
             # lost on the wire: transmitted but never arrives
             self.lost += 1

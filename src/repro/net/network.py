@@ -304,6 +304,12 @@ class MPLSNetwork:
         if tel.enabled:
             tel.packets.labels(node_name, "delivered").inc()
             tel.delivery_latency.labels(node_name).observe(delivery.latency)
+            # demand accounting (ingress->egress matrix cell) rides the
+            # same guard; one None test when no accountant is attached
+            if tel.flows is not None:
+                tel.flows.record_delivery(
+                    node_name, packet.flow_id, packet.length
+                )
             tel.events.emit(
                 PacketDelivered(
                     node=node_name,

@@ -23,10 +23,17 @@ Quick use::
         print(to_prometheus(tel.registry))
 """
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    render_alert_history,
+)
 from repro.obs.events import (
     CLOCK_CYCLES,
     CLOCK_SIM,
     JSONL_SCHEMA_VERSION,
+    AlertCleared,
+    AlertRaised,
     AuditCompleted,
     CallbackSink,
     Event,
@@ -52,6 +59,15 @@ from repro.obs.events import (
     read_jsonl,
 )
 from repro.obs.export import snapshot, to_json, to_prometheus
+from repro.obs.flows import (
+    FlowAccountant,
+    FlowRecord,
+    MatrixCollector,
+    TrafficMatrix,
+    flows_to_jsonl,
+    matrices_to_json,
+    render_flow_summary,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -77,6 +93,10 @@ from repro.obs.telemetry import (
 )
 
 __all__ = [
+    "AlertCleared",
+    "AlertEngine",
+    "AlertRaised",
+    "AlertRule",
     "AuditCompleted",
     "CallbackSink",
     "CLOCK_CYCLES",
@@ -89,6 +109,8 @@ __all__ = [
     "FaultHealed",
     "FaultInjected",
     "FilterSink",
+    "FlowAccountant",
+    "FlowRecord",
     "FSMTransition",
     "Gauge",
     "Histogram",
@@ -101,6 +123,7 @@ __all__ = [
     "LabelOpApplied",
     "ListSink",
     "LSPEvent",
+    "MatrixCollector",
     "MetricFamily",
     "MetricsRegistry",
     "OAMProbeCompleted",
@@ -114,9 +137,14 @@ __all__ = [
     "StaleEntriesFlushed",
     "Telemetry",
     "Trace",
+    "TrafficMatrix",
     "export_chrome_trace",
+    "flows_to_jsonl",
     "get_telemetry",
+    "matrices_to_json",
     "read_jsonl",
+    "render_alert_history",
+    "render_flow_summary",
     "set_telemetry",
     "snapshot",
     "spans_to_jsonl",

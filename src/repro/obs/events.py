@@ -254,6 +254,33 @@ class InfoBaseScrubbed(Event):
     cycles: int = 0
 
 
+# -- alerting ----------------------------------------------------------------
+@dataclass
+class AlertRaised(Event):
+    """An alert rule crossed its raise threshold for one subject."""
+
+    kind: ClassVar[str] = "alert-raised"
+    rule: str = ""
+    #: What the rule fired on (a link "a->b", a FEC, a node, ...).
+    subject: str = ""
+    #: The observed signal value that crossed the threshold.
+    value: float = 0.0
+    threshold: float = 0.0
+
+
+@dataclass
+class AlertCleared(Event):
+    """A firing alert dropped below its clear threshold (hysteresis)."""
+
+    kind: ClassVar[str] = "alert-cleared"
+    rule: str = ""
+    subject: str = ""
+    value: float = 0.0
+    clear: float = 0.0
+    #: Seconds the alert spent firing.
+    duration: float = 0.0
+
+
 # -- OAM ---------------------------------------------------------------------
 @dataclass
 class OAMProbeCompleted(Event):

@@ -41,6 +41,11 @@ class Telemetry:
         #: phase events are wanted; with no recorder attached the hot
         #: path pays nothing beyond the ``enabled`` test.
         self.spans = None
+        #: The attached :class:`~repro.obs.flows.FlowAccountant`, or
+        #: None.  Data-plane hooks consult this inside their existing
+        #: ``enabled`` guards, so with accounting off the hot path pays
+        #: nothing beyond the tests it already ran.
+        self.flows = None
         self._register_core_families()
 
     # -- core metric families ----------------------------------------------
@@ -226,6 +231,54 @@ class Telemetry:
             "LSPs preempted by higher-priority setups, by outcome",
             ("mode",),
         )
+        # -- flow accounting and alerting -----------------------------------
+        # registered unconditionally (like the overload families) so
+        # Prometheus scrapes keep the same schema whether or not a
+        # FlowAccountant / AlertEngine is attached
+        self.flow_active = r.gauge(
+            "repro_flow_records_active",
+            "Active flow records in the accounting cache, per node",
+            ("node",),
+        )
+        self.flow_opened = r.counter(
+            "repro_flow_records_opened_total",
+            "Flow records opened per node",
+            ("node",),
+        )
+        self.flow_expired = r.counter(
+            "repro_flow_records_expired_total",
+            "Flow records finished per node, by expiry reason",
+            ("node", "reason"),
+        )
+        self.flow_packets = r.counter(
+            "repro_flow_packets_total",
+            "Packets accounted to flow records, per node and FEC",
+            ("node", "fec"),
+        )
+        self.flow_bytes = r.counter(
+            "repro_flow_bytes_total",
+            "Bytes accounted to flow records, per node and FEC",
+            ("node", "fec"),
+        )
+        self.matrix_snapshots = r.counter(
+            "repro_traffic_matrix_snapshots_total",
+            "Traffic-matrix snapshots materialized by the collector",
+        )
+        self.link_utilization = r.gauge(
+            "repro_link_utilization_ratio",
+            "Link busy fraction over the last matrix interval",
+            ("src", "dst"),
+        )
+        self.alerts_active = r.gauge(
+            "repro_alerts_active",
+            "Currently firing alert instances, per rule",
+            ("rule",),
+        )
+        self.alert_transitions = r.counter(
+            "repro_alert_transitions_total",
+            "Alert raise/clear transitions, per rule",
+            ("rule", "transition"),
+        )
 
     # -- switch ------------------------------------------------------------
     def enable(self) -> "Telemetry":
@@ -238,10 +291,12 @@ class Telemetry:
 
     def reset(self) -> None:
         """Fresh registry and event log; the switch keeps its position.
-        Any attached span recorder is dropped with the old event log."""
+        Any attached span recorder or flow accountant is dropped with
+        the old event log."""
         self.registry = MetricsRegistry()
         self.events = EventLog()
         self.spans = None
+        self.flows = None
         self._register_core_families()
 
 

@@ -1,0 +1,200 @@
+"""Alert-engine tests: rule validation, threshold+hysteresis
+lifecycle across every built-in signal, event emission, and the
+summary/rendering surfaces."""
+
+import pytest
+
+from repro.obs import ListSink
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    render_alert_history,
+)
+from repro.obs.flows import FlowAccountant, TrafficMatrix
+from repro.obs.telemetry import Telemetry
+
+
+def _engine(rules, tel=None):
+    tel = tel if tel is not None else Telemetry(enabled=True)
+    return AlertEngine(rules, telemetry=tel), tel
+
+
+class TestRuleValidation:
+    def test_clear_must_be_below_threshold(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            AlertRule(name="bad", signal="flow-count",
+                      threshold=10.0, clear=10.0)
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(ValueError, match="unknown signal"):
+            AlertRule(name="bad", signal="cpu-temp",
+                      threshold=1.0, clear=0.5)
+
+    def test_metric_prefix_signal_accepted(self):
+        rule = AlertRule(name="ok", signal="metric:repro_slo_breaches_total",
+                         threshold=1.0, clear=0.5)
+        assert rule.signal.startswith("metric:")
+
+    def test_from_dict_defaults_clear_to_80_percent(self):
+        rule = AlertRule.from_dict(
+            {"name": "r", "signal": "flow-count", "threshold": 10.0}
+        )
+        assert rule.clear == pytest.approx(8.0)
+
+    def test_duplicate_rule_names_rejected(self):
+        rules = [
+            {"name": "dup", "signal": "flow-count", "threshold": 2.0},
+            {"name": "dup", "signal": "flow-count", "threshold": 3.0},
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            AlertEngine(rules, telemetry=Telemetry(enabled=True))
+
+
+class TestHysteresis:
+    RULE = {"name": "hot", "signal": "metric:repro_link_utilization_ratio",
+            "threshold": 0.9, "clear": 0.5}
+
+    def test_raise_hold_clear(self):
+        engine, tel = _engine([self.RULE])
+        gauge = tel.link_utilization.labels("a", "b")
+        gauge.set(0.95)
+        engine.evaluate(1.0)
+        assert engine.active_count() == 1
+        # in the hysteresis band: stays raised, no new transition
+        gauge.set(0.7)
+        engine.evaluate(2.0)
+        assert engine.active_count() == 1
+        assert len(engine.history) == 1
+        gauge.set(0.4)
+        engine.evaluate(3.0)
+        assert engine.active_count() == 0
+        raised, cleared = engine.history
+        assert raised["transition"] == "raised"
+        assert raised["subject"] == "a/b"
+        assert raised["value"] == pytest.approx(0.95)
+        assert cleared["transition"] == "cleared"
+        assert cleared["duration"] == pytest.approx(2.0)
+        assert cleared["peak"] == pytest.approx(0.95)
+
+    def test_below_threshold_never_raises(self):
+        engine, tel = _engine([self.RULE])
+        tel.link_utilization.labels("a", "b").set(0.89)
+        engine.evaluate(1.0)
+        assert engine.active_count() == 0
+        assert engine.history == []
+
+    def test_transitions_metrics_mirror_state(self):
+        engine, tel = _engine([self.RULE])
+        gauge = tel.link_utilization.labels("a", "b")
+        gauge.set(1.0)
+        engine.evaluate(1.0)
+        assert tel.alerts_active.labels("hot").value == 1
+        assert tel.alert_transitions.labels("hot", "raised").value == 1
+        gauge.set(0.0)
+        engine.evaluate(2.0)
+        assert tel.alerts_active.labels("hot").value == 0
+        assert tel.alert_transitions.labels("hot", "cleared").value == 1
+
+    def test_alert_events_emitted_into_log(self):
+        engine, tel = _engine([self.RULE])
+        sink = tel.events.add_sink(ListSink())
+        gauge = tel.link_utilization.labels("a", "b")
+        gauge.set(1.0)
+        engine.evaluate(1.0)
+        gauge.set(0.0)
+        engine.evaluate(2.0)
+        kinds = [event.kind for event in sink.events]
+        assert kinds == ["alert-raised", "alert-cleared"]
+
+
+class TestBuiltinSignals:
+    def test_link_utilization_from_matrix(self):
+        engine, _tel = _engine(
+            [{"name": "hot-link", "signal": "link-utilization",
+              "threshold": 0.9, "clear": 0.7}]
+        )
+        hot = TrafficMatrix(time=0.1, interval=0.1,
+                            utilization={("a", "b"): 0.95})
+        engine.evaluate(0.1, matrix=hot)
+        assert engine.active_alerts()[0]["subject"] == "a->b"
+        # the link disappears from the next snapshot: samples as 0,
+        # so the alert clears instead of firing forever
+        engine.evaluate(0.2, matrix=TrafficMatrix(time=0.2, interval=0.1))
+        assert engine.active_count() == 0
+
+    def test_queue_shed_rate_is_a_delta_rate(self):
+        engine, tel = _engine(
+            [{"name": "shed", "signal": "queue-shed-rate",
+              "threshold": 100.0, "clear": 10.0}]
+        )
+        drops = tel.control_queue_drops.labels("n0", "mapping", "shed")
+        drops.inc(50)
+        engine.evaluate(1.0)  # 50 drops / 1 s = 50/s: below threshold
+        assert engine.active_count() == 0
+        drops.inc(200)
+        engine.evaluate(2.0)  # 200/s: raised
+        assert engine.active_count() == 1
+        engine.evaluate(3.0)  # no new drops: 0/s clears
+        assert engine.active_count() == 0
+
+    def test_flow_count_per_node(self):
+        tel = Telemetry(enabled=True)
+        accountant = FlowAccountant(telemetry=tel)
+        engine, _ = _engine(
+            [{"name": "explosion", "signal": "flow-count",
+              "threshold": 3.0, "clear": 1.0}],
+            tel=tel,
+        )
+        for flow_id in range(3):
+            accountant.record_packet("n0", flow_id, 100)
+        engine.evaluate(1.0)
+        assert engine.active_alerts()[0]["subject"] == "n0"
+        accountant.finalize()
+        engine.evaluate(2.0)
+        assert engine.active_count() == 0
+
+    def test_flow_count_without_accountant_is_silent(self):
+        engine, _tel = _engine(
+            [{"name": "explosion", "signal": "flow-count",
+              "threshold": 1.0, "clear": 0.5}]
+        )
+        engine.evaluate(1.0)
+        assert engine.active_count() == 0
+
+
+class TestSurfaces:
+    def test_summary_shape(self):
+        engine, _tel = _engine(
+            [{"name": "hot", "signal": "link-utilization",
+              "threshold": 0.9, "clear": 0.7,
+              "description": "a hot link"}]
+        )
+        engine.evaluate(
+            0.1,
+            matrix=TrafficMatrix(time=0.1, interval=0.1,
+                                 utilization={("a", "b"): 1.0}),
+        )
+        summary = engine.summary()
+        assert summary["rules"][0]["description"] == "a hot link"
+        assert summary["evaluations"] == 1
+        assert summary["history"][0]["transition"] == "raised"
+        assert summary["active_at_end"][0]["subject"] == "a->b"
+
+    def test_render_alert_history(self):
+        engine, _tel = _engine(
+            [{"name": "hot", "signal": "link-utilization",
+              "threshold": 0.9, "clear": 0.7}]
+        )
+        engine.evaluate(
+            0.1,
+            matrix=TrafficMatrix(time=0.1, interval=0.1,
+                                 utilization={("a", "b"): 1.0}),
+        )
+        engine.evaluate(0.2, matrix=TrafficMatrix(time=0.2, interval=0.1))
+        text = render_alert_history(engine)
+        assert "RAISED" in text and "cleared" in text
+        assert "hot" in text and "a->b" in text
+
+    def test_render_without_rules(self):
+        engine, _tel = _engine([])
+        assert "no rules configured" in render_alert_history(engine)
