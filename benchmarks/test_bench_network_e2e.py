@@ -66,7 +66,7 @@ def test_throughput_vs_offered_load(benchmark):
 
     rows = benchmark.pedantic(sweep, iterations=1, rounds=2)
     emit(
-        "network_load_sweep",
+        "network_e2e",
         render_series(
             "offered/capacity",
             ["sent", "delivered", "loss", "mean ms", "worst ms"],
@@ -75,7 +75,7 @@ def test_throughput_vs_offered_load(benchmark):
         ),
     )
     emit_json(
-        "network_load_sweep",
+        "network_e2e",
         metric="mean_latency_below_capacity",
         value=rows[0][4],
         units="ms",

@@ -445,6 +445,7 @@ def cmd_chaos(
     output: Optional[str] = None,
     audit: Optional[float] = None,
     overload: Optional[str] = None,
+    batching: Optional[str] = None,
 ) -> int:
     """Run a fault-injection scenario file and print its report.
 
@@ -479,7 +480,9 @@ def cmd_chaos(
         }
     try:
         with telemetry_session():
-            report = run_scenario(scenario, seed=seed)
+            report = run_scenario(
+                scenario, seed=seed, batching=(batching == "on")
+            )
     except ScenarioError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -717,6 +720,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenario's own 'overload.enabled' key)",
     )
     parser.add_argument(
+        "--batching",
+        choices=["on", "off"],
+        default=None,
+        help="chaos only: run the data plane on the batched fast path "
+        "(per-node flow caches); reports are byte-identical to the "
+        "scalar run of the same seed (default: off)",
+    )
+    parser.add_argument(
         "--flow",
         metavar="ID",
         type=int,
@@ -794,6 +805,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             output=args.output,
             audit=args.audit,
             overload=args.overload,
+            batching=args.batching,
         )
     if args.command == "flows":
         return cmd_flows(

@@ -36,7 +36,8 @@ coincide, since nested entries are created with equal TTLs.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 from repro.core.device import STRATIX_EP1S40
 from repro.hw.model import (
@@ -59,6 +60,30 @@ from repro.obs.events import (
     InfoBaseScrubbed,
 )
 from repro.obs.telemetry import get_telemetry
+
+
+@dataclass(frozen=True)
+class _HwMemoEntry:
+    """One memoized hardware forwarding outcome.
+
+    Valid only while the (ilm generation, ftn generation, modifier
+    state_version) triple under which it was filled still holds: the
+    hardware's search cycle counts depend on pair *positions*, so any
+    information-base write invalidates every entry at once.
+    """
+
+    action: Action
+    reason: Optional[str]
+    next_hop: Optional[str]
+    out_interface: Optional[str]
+    #: output label stack for FORWARD_MPLS results, else None
+    stack: Optional[LabelStack]
+    #: computed inner TTL for MPLS->IP (pop-to-empty) results
+    inner_ttl: Optional[int]
+    #: counter deltas the real pass produced, replayed verbatim
+    data_cycles: int
+    fast_path: int
+    slow_path: int
 
 
 class HardwareLSRNode(LSRNode):
@@ -99,6 +124,17 @@ class HardwareLSRNode(LSRNode):
         #: (phase, parent_phase, cycle_start, cycle_end) while the
         #: current packet is sampled, else None (the hot-path default)
         self._phase_log = None
+        # -- batched fast path ---------------------------------------------
+        #: flow-keyed memo of complete hardware forwarding outcomes,
+        #: armed by :meth:`enable_batching`; None = scalar processing
+        self._hw_memo: "Optional[OrderedDict[tuple, _HwMemoEntry]]" = None
+        self._hw_memo_capacity = 0
+        #: (ilm gen, ftn gen, modifier state_version) the memo was
+        #: filled under; any mismatch flushes the whole memo
+        self._hw_memo_valid: Optional[Tuple[int, int, int]] = None
+        self.hw_memo_hits = 0
+        self.hw_memo_misses = 0
+        self.hw_memo_invalidations = 0
 
     # -- information-base synchronization ---------------------------------
     def _sync_info_base(self) -> None:
@@ -218,6 +254,183 @@ class HardwareLSRNode(LSRNode):
             )
         return reports
 
+    # -- batched fast path --------------------------------------------------
+    def enable_batching(self, cache_capacity: Optional[int] = None):
+        """Arm the hardware memo: repeat packets of a flow replay the
+        memoized decision and cycle deltas instead of re-running the
+        modifier (see the module docstring of
+        :mod:`repro.mpls.fastpath` for the invalidation contract)."""
+        from repro.mpls.fastpath import DEFAULT_CAPACITY
+
+        self._hw_memo = OrderedDict()
+        self._hw_memo_capacity = (
+            cache_capacity if cache_capacity is not None else DEFAULT_CAPACITY
+        )
+        self._hw_memo_valid = None
+        # the software FlowCache never applies here: the hardware node
+        # forwards through the modifier, not the software engine
+        self.flow_cache = None
+        return None
+
+    def disable_batching(self) -> None:
+        self._hw_memo = None
+        self.flow_cache = None
+
+    def _forward(
+        self,
+        packet: Union[IPv4Packet, MPLSPacket],
+        bypass_memo: bool = False,
+    ) -> ForwardingDecision:
+        """One packet through the hardware path, memo-aware.
+
+        Memo entries are filled only from *pure* passes -- ones that
+        did not write the information base (``state_version``
+        unchanged) -- so a slow-path flow-cache install is never
+        replayed with the wrong cycle count.
+        """
+        memo = self._hw_memo
+        use_memo = memo is not None and not bypass_memo
+        if use_memo:
+            valid = (
+                self.ilm.generation,
+                self.ftn.generation,
+                self.modifier.state_version,
+            )
+            if valid != self._hw_memo_valid:
+                if memo:
+                    self.hw_memo_invalidations += 1
+                memo.clear()
+                self._hw_memo_valid = valid
+            else:
+                from repro.mpls.fastpath import key_of
+
+                cached = memo.get(key_of(packet))
+                if cached is not None:
+                    self.hw_memo_hits += 1
+                    memo.move_to_end(key_of(packet))
+                    return self._hw_replay(packet, cached)
+            self.hw_memo_misses += 1
+        before_version = self.modifier.state_version
+        before_cycles = self.hw_data_cycles
+        before_fast = self.fast_path_packets
+        before_slow = self.slow_path_packets
+        if isinstance(packet, MPLSPacket):
+            decision = self._hw_transit(packet)
+        elif self.is_edge:
+            decision = self._hw_ingress(packet)
+        else:
+            decision = ForwardingDecision(
+                Action.DISCARD,
+                reason=f"{self.name}: unlabelled packet at a core LSR",
+            )
+        if use_memo and self.modifier.state_version == before_version:
+            from repro.mpls.fastpath import key_of
+
+            out = decision.packet
+            memo[key_of(packet)] = _HwMemoEntry(
+                action=decision.action,
+                reason=decision.reason,
+                next_hop=decision.next_hop,
+                out_interface=decision.out_interface,
+                stack=(
+                    out.stack if isinstance(out, MPLSPacket) else None
+                ),
+                inner_ttl=(
+                    out.ttl
+                    if isinstance(packet, MPLSPacket)
+                    and isinstance(out, IPv4Packet)
+                    else None
+                ),
+                data_cycles=self.hw_data_cycles - before_cycles,
+                fast_path=self.fast_path_packets - before_fast,
+                slow_path=self.slow_path_packets - before_slow,
+            )
+            if len(memo) > self._hw_memo_capacity:
+                memo.popitem(last=False)
+        return decision
+
+    def _hw_replay(
+        self,
+        packet: Union[IPv4Packet, MPLSPacket],
+        cached: _HwMemoEntry,
+    ) -> ForwardingDecision:
+        """Re-apply a memoized outcome to a fresh packet: same counter
+        deltas the real pass produced, output rebuilt around this
+        packet's identity (uid, payload)."""
+        self.hw_data_cycles += cached.data_cycles
+        self.modifier.total_cycles += cached.data_cycles
+        self.fast_path_packets += cached.fast_path
+        self.slow_path_packets += cached.slow_path
+        if cached.action is Action.DISCARD:
+            out = None
+        elif isinstance(packet, MPLSPacket):
+            if cached.action is Action.FORWARD_MPLS:
+                out = packet.with_stack(cached.stack)
+            else:  # pop-to-empty: FORWARD_IP with the computed TTL
+                out = packet.inner.with_ttl(cached.inner_ttl)
+        else:
+            # the scalar ingress fast path touches its LRU entry; the
+            # replay must too, or evictions would diverge
+            dst = packet.identifier()
+            if dst in self._flow_cache:
+                self._flow_cache.move_to_end(dst)
+            if cached.action is Action.FORWARD_MPLS:
+                out = MPLSPacket(cached.stack, packet.decremented())
+            else:  # non-PUSH NHLFE: unlabelled forwarding
+                out = packet.decremented()
+        return ForwardingDecision(
+            cached.action,
+            packet=out,
+            next_hop=cached.next_hop,
+            out_interface=cached.out_interface,
+            reason=cached.reason,
+        )
+
+    def receive_aggregate(self, aggregate) -> ForwardingDecision:
+        """Process a whole packet train: the first packet runs (or
+        fills) the memo, the rest replay it in O(1) each."""
+        if self._hw_memo is None:
+            raise RuntimeError(
+                f"{self.name}: aggregates need batching enabled"
+            )
+        count = aggregate.count
+        template = aggregate.template
+        self.stats.received += count
+        self._sync_info_base()
+        self._phase_log = None
+        decision = self._forward(template)
+        for _ in range(count - 1):
+            self._forward(template)
+        decision = self._fill_interface(decision)
+        self.stats.record(decision, count)
+        tel = get_telemetry()
+        if tel.enabled:
+            cycles_after = self.hw_data_cycles
+            delta = cycles_after - self._observed_data_cycles
+            self._observed_data_cycles = cycles_after
+            inner = (
+                template.inner
+                if isinstance(template, MPLSPacket)
+                else template
+            )
+            if delta:
+                tel.hw_cycles.labels(self.name, "data").inc(delta)
+                tel.hw_packet_cycles.labels(self.name).observe(delta)
+                if tel.flows is not None:
+                    tel.flows.record_hw_cycles(
+                        self.name, inner.flow_id, delta
+                    )
+        self.observe_aggregate(aggregate, decision)
+        return decision
+
+    def hw_memo_stats(self) -> dict:
+        return {
+            "entries": len(self._hw_memo) if self._hw_memo else 0,
+            "hits": self.hw_memo_hits,
+            "misses": self.hw_memo_misses,
+            "invalidations": self.hw_memo_invalidations,
+        }
+
     # -- the hardware data path ---------------------------------------------
     def receive(
         self, packet: Union[IPv4Packet, MPLSPacket]
@@ -236,15 +449,7 @@ class HardwareLSRNode(LSRNode):
             and tel.spans.wants(inner.flow_id, inner.uid)
         )
         self._phase_log = [] if capture else None
-        if isinstance(packet, MPLSPacket):
-            decision = self._hw_transit(packet)
-        elif self.is_edge:
-            decision = self._hw_ingress(packet)
-        else:
-            decision = ForwardingDecision(
-                Action.DISCARD,
-                reason=f"{self.name}: unlabelled packet at a core LSR",
-            )
+        decision = self._forward(packet, bypass_memo=capture)
         decision = self._fill_interface(decision)
         self.stats.record(decision)
         if tel_enabled:

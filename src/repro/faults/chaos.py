@@ -346,6 +346,7 @@ def run_scenario(
     scenario: Scenario,
     seed: int = 0,
     sample_rate: Optional[float] = None,
+    batching: bool = False,
 ) -> ChaosReport:
     """Run one scenario to its horizon and summarize the damage.
 
@@ -353,8 +354,15 @@ def run_scenario(
     the run (head-based sampling at that rate, flows labelled with
     their FEC prefixes); the finalized recorder rides back on
     :attr:`ChaosReport.recorder` and a ``spans`` report section.
+
+    ``batching`` runs the data plane on the batched fast path (per-node
+    flow caches); the report is byte-identical to the scalar run of the
+    same seed -- that equivalence is the contract
+    ``tests/integration/test_batching_equivalence.py`` enforces.
     """
     run = build_run(scenario, seed)
+    if batching:
+        run.network.enable_batching()
     recorder = None
     if sample_rate is not None:
         from repro.obs.spans import SpanRecorder
@@ -518,13 +526,13 @@ def summarize(
     before = after = 0
     for drop in network.drops:
         if last_recovery is None or drop.time <= last_recovery:
-            before += 1
+            before += drop.count
         else:
-            after += 1
+            after += drop.count
     by_reason: Dict[str, int] = {}
     for drop in network.drops:
         reason = drop.reason.split(":")[-1].strip()
-        by_reason[reason] = by_reason.get(reason, 0) + 1
+        by_reason[reason] = by_reason.get(reason, 0) + drop.count
 
     faults = [
         {
@@ -614,7 +622,7 @@ def summarize(
                 else run.scenario.duration
             )
             drops_at_node = sum(
-                1
+                drop.count
                 for drop in network.drops
                 if drop.node == restart.node
                 and restart.began_at <= drop.time <= window_end

@@ -91,6 +91,12 @@ class ModifierDriver:
         #: per-level staged pairs while a bank transaction is open
         self._staged_banks: Optional[List[List[Tuple[int, int, int]]]] = None
         self.total_cycles = 0
+        #: mirrors :attr:`repro.hw.model.FunctionalModifier.state_version`:
+        #: bumped whenever the active information base may have changed,
+        #: so batched nodes can key memoized lookups on it.  Bumps are
+        #: conservative (a no-op modify still bumps) -- over-invalidating
+        #: a memo is safe, under-invalidating is not.
+        self.state_version = 0
         #: Optional :class:`repro.obs.profiling.CycleProfiler`; when
         #: attached, every transaction's cycles are scoped under the
         #: operation's name for per-operation breakdowns.
@@ -219,6 +225,7 @@ class ModifierDriver:
                 self.sim.step(RESET_CYCLES)
         else:
             self.sim.step(RESET_CYCLES)
+        self.state_version += 1
         self.total_cycles += RESET_CYCLES
         return RESET_CYCLES
 
@@ -254,6 +261,7 @@ class ModifierDriver:
             operands["data_in"] = new_label & 0xFFFFF
         else:
             operands["data_in"] = ((index & 0xFFFFF) << 20) | (new_label & 0xFFFFF)
+        self.state_version += 1
         return self._issue(UserOp.WRITE_PAIR, **operands)
 
     def search(self, level: int, key: int) -> SearchResult:
@@ -367,6 +375,7 @@ class ModifierDriver:
         self._staged_since_drain = 0
         for level, pairs in enumerate(staged, start=1):
             self.modifier.dp.info_base.level(level).load_pairs(pairs)
+        self.state_version += 1
         return self._burn("BANK_SWAP", BANK_SWAP_CYCLES)
 
     def bank_drain(self) -> int:
@@ -410,6 +419,7 @@ class ModifierDriver:
                 new_label & 0xFFFFF
             )
         cycles = self._issue(UserOp.MODIFY_PAIR, **operands)
+        self.state_version += 1
         return MgmtResult(
             found=bool(self.modifier.ib_iface.mgmt_found.value),
             cycles=cycles,
@@ -426,6 +436,7 @@ class ModifierDriver:
         else:
             operands["label_lookup"] = index & 0xFFFFF
         cycles = self._issue(UserOp.REMOVE_PAIR, **operands)
+        self.state_version += 1
         return MgmtResult(
             found=bool(self.modifier.ib_iface.mgmt_found.value),
             cycles=cycles,
@@ -477,6 +488,7 @@ class ModifierDriver:
             )
         if op_xor:
             lvl.op_mem.poke(address, lvl.op_mem.peek(address) ^ op_xor)
+        self.state_version += 1
         return True
 
     def scrub(self, level: int, expected, repair: bool = True):

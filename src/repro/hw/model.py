@@ -231,6 +231,11 @@ class FunctionalModifier:
         self._is_lsr = False
         self.stack_error = False
         self.total_cycles = 0
+        #: bumped whenever the *active* information base changes shape
+        #: (writes, bank flips, management ops, corruption, reset);
+        #: batched nodes key memoized search results on this, since pair
+        #: positions -- and therefore search cycle counts -- depend on it
+        self.state_version = 0
 
     # -- configuration ------------------------------------------------------
     def set_router_type(self, is_lsr: bool) -> None:
@@ -242,6 +247,7 @@ class FunctionalModifier:
         self._stack = []
         self._is_lsr = False
         self.stack_error = False
+        self.state_version += 1
         self.total_cycles += RESET_CYCLES
         return RESET_CYCLES
 
@@ -273,6 +279,7 @@ class FunctionalModifier:
         else:
             mask = 0xFFFFFFFF if level == 1 else 0xFFFFF
             lvl.pairs.append((index & mask, new_label & 0xFFFFF, int(op)))
+            self.state_version += 1
         self.total_cycles += WRITE_PAIR_CYCLES
         return WRITE_PAIR_CYCLES
 
@@ -328,6 +335,7 @@ class FunctionalModifier:
         self._levels = self._staged_levels
         self._staged_levels = None
         self._staged_since_drain = 0
+        self.state_version += 1
         self.total_cycles += BANK_SWAP_CYCLES
         return BANK_SWAP_CYCLES
 
@@ -394,6 +402,7 @@ class FunctionalModifier:
             self.total_cycles += cycles
             return MgmtResult(found=False, cycles=cycles)
         lvl.pairs[pos] = (index & mask, new_label & 0xFFFFF, int(op))
+        self.state_version += 1
         cycles = search_cycles(n, pos) + MODIFY_TAIL_CYCLES
         self.total_cycles += cycles
         return MgmtResult(found=True, cycles=cycles)
@@ -413,6 +422,7 @@ class FunctionalModifier:
             return MgmtResult(found=False, cycles=cycles)
         lvl.pairs[pos] = lvl.pairs[-1]
         lvl.pairs.pop()
+        self.state_version += 1
         cycles = search_cycles(n, pos) + REMOVE_TAIL_CYCLES
         self.total_cycles += cycles
         return MgmtResult(found=True, cycles=cycles)
@@ -566,6 +576,7 @@ class FunctionalModifier:
             (label ^ label_xor) & 0xFFFFF,
             (op ^ op_xor) & 0x3,
         )
+        self.state_version += 1
         return True
 
     def scrub(

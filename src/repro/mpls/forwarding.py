@@ -169,10 +169,19 @@ class ForwardingEngine:
         self.ftn = ftn if ftn is not None else FTN()
         self.node_name = node_name
         self.counts = OpCounts()
+        #: Optional list the telemetry mirror appends to while set --
+        #: the flow cache (:mod:`repro.mpls.fastpath`) records one
+        #: scalar computation through this hook so a cache hit can
+        #: replay identical registry increments and stack-op events.
+        self.recorder: Optional[list] = None
 
     # -- telemetry mirroring ------------------------------------------------
-    def _mirror(self, tel: Telemetry, op: str, amount: int = 1) -> None:
+    def _mirror(
+        self, tel: Telemetry, op: str, amount: int = 1, _record: bool = True
+    ) -> None:
         """One elementary operation onto the registry (enabled only)."""
+        if _record and self.recorder is not None:
+            self.recorder.append(("m", op, amount))
         tel.mpls_ops.labels(self.node_name, op).inc(amount)
 
     def _emit_stack_op(
@@ -182,7 +191,9 @@ class ForwardingEngine:
         label_in: Optional[int],
         label_out: Optional[int],
     ) -> None:
-        self._mirror(tel, op)
+        if self.recorder is not None:
+            self.recorder.append(("e", op, label_in, label_out))
+        self._mirror(tel, op, _record=False)
         tel.events.emit(
             LabelOpApplied(
                 node=self.node_name,

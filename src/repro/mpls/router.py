@@ -66,17 +66,19 @@ class NodeStats:
     discarded: int = 0
     discard_reasons: Dict[str, int] = field(default_factory=dict)
 
-    def record(self, decision: ForwardingDecision) -> None:
+    def record(self, decision: ForwardingDecision, count: int = 1) -> None:
         if decision.action is Action.FORWARD_MPLS:
-            self.forwarded_mpls += 1
+            self.forwarded_mpls += count
         elif decision.action is Action.FORWARD_IP:
-            self.forwarded_ip += 1
+            self.forwarded_ip += count
         elif decision.action is Action.DELIVER_LOCAL:
-            self.delivered_local += 1
+            self.delivered_local += count
         else:
-            self.discarded += 1
+            self.discarded += count
             key = (decision.reason or "unspecified").split(":")[-1].strip()
-            self.discard_reasons[key] = self.discard_reasons.get(key, 0) + 1
+            self.discard_reasons[key] = (
+                self.discard_reasons.get(key, 0) + count
+            )
 
 
 class LSRNode:
@@ -109,6 +111,29 @@ class LSRNode:
         #: neighbour name -> local interface used to reach it; the
         #: network layer fills this in when links are attached.
         self.neighbor_interfaces: Dict[str, str] = {}
+        #: the batched fast path's per-node decision cache, armed by
+        #: :meth:`enable_batching` (None = scalar processing)
+        self.flow_cache = None
+
+    # -- batched fast path --------------------------------------------------
+    def enable_batching(self, cache_capacity: Optional[int] = None):
+        """Arm the flow cache: subsequent packets replay memoized
+        ILM/FTN decisions (see :mod:`repro.mpls.fastpath`)."""
+        from repro.mpls.fastpath import DEFAULT_CAPACITY, FlowCache
+
+        self.flow_cache = FlowCache(
+            self.engine,
+            capacity=(
+                cache_capacity
+                if cache_capacity is not None
+                else DEFAULT_CAPACITY
+            ),
+        )
+        return self.flow_cache
+
+    def disable_batching(self) -> None:
+        """Back to scalar processing (the differential oracle path)."""
+        self.flow_cache = None
 
     def add_interface(self, interface: str) -> None:
         if interface in self.interfaces:
@@ -136,12 +161,70 @@ class LSRNode:
                 Action.DISCARD,
                 reason=f"{self.name}: unlabelled packet at a core LSR",
             )
+        elif self.flow_cache is not None:
+            decision = self.flow_cache.process(packet)
         else:
             decision = self.engine.process(packet)
         decision = self._fill_interface(decision)
         self.stats.record(decision)
         self.observe(packet, decision)
         return decision
+
+    def receive_aggregate(self, aggregate) -> ForwardingDecision:
+        """Process a whole :class:`~repro.net.aggregate.FlowAggregate`
+        in one step: one decision on the template shape, counters
+        scaled by the aggregate's packet count.
+
+        Requires batching (the flow cache supplies the per-packet
+        operation deltas that scale to the train).
+        """
+        if self.flow_cache is None:
+            raise RuntimeError(
+                f"{self.name}: aggregates need batching enabled"
+            )
+        count = aggregate.count
+        template = aggregate.template
+        self.stats.received += count
+        if isinstance(template, IPv4Packet) and not self.is_edge:
+            decision = ForwardingDecision(
+                Action.DISCARD,
+                reason=f"{self.name}: unlabelled packet at a core LSR",
+            )
+        else:
+            decision = self.flow_cache.process(template)
+            if count > 1:
+                # the cache already advanced counts for the template;
+                # scale the same delta over the rest of the train
+                self.flow_cache.scale_last(count - 1)
+        decision = self._fill_interface(decision)
+        self.stats.record(decision, count)
+        self.observe_aggregate(aggregate, decision)
+        return decision
+
+    def observe_aggregate(self, aggregate, decision) -> None:
+        """Bulk telemetry for one aggregate processing step: exact
+        packet/byte totals on the metrics and flow accounting, no
+        per-packet events (sampled packets are materialized by the
+        source and observed on the scalar path instead)."""
+        tel = get_telemetry()
+        if not tel.enabled:
+            return
+        count = aggregate.count
+        tel.packets.labels(self.name, decision.action.value).inc(count)
+        if decision.action is Action.DISCARD:
+            reason = decision.reason or "unspecified"
+            tel.drops.labels(
+                self.name, reason.split(":")[-1].strip()
+            ).inc(count)
+        elif tel.flows is not None:
+            out = decision.packet
+            tel.flows.record_packet_bulk(
+                self.name,
+                aggregate.flow_id,
+                count,
+                aggregate.length,
+                stack_labels(out) if out is not None else (),
+            )
 
     def observe(
         self,

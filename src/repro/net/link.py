@@ -58,6 +58,16 @@ class Interface:
         return f"{self.node}:{self.name}"
 
 
+def _units(packet: Any) -> int:
+    """Packets represented by one queued/transmitted unit: 1 for a
+    scalar packet, the train length for a flow aggregate (batched
+    mode).  Keeps per-packet counters exact without the link layer
+    importing the aggregate type."""
+    if getattr(packet, "is_aggregate", False):
+        return packet.count
+    return 1
+
+
 class SimplexChannel:
     """One direction of a link."""
 
@@ -119,11 +129,12 @@ class SimplexChannel:
             item = self.queue.dequeue()
             if item is None:
                 break
-            self.lost += 1
+            count = _units(item[0])
+            self.lost += count
             if tel.enabled:
                 tel.link_drops.labels(
                     self.src.node, self.dst.node, "link-down"
-                ).inc()
+                ).inc(count)
         self._busy = False
 
     def set_up(self) -> None:
@@ -133,18 +144,18 @@ class SimplexChannel:
         """Queue a packet for transmission.  Returns False on drop."""
         tel = get_telemetry()
         if not self.up:
-            self.dropped += 1
+            self.dropped += _units(packet)
             if tel.enabled:
                 tel.link_drops.labels(
                     self.src.node, self.dst.node, "link-down"
-                ).inc()
+                ).inc(_units(packet))
             return False
         if not self.queue.enqueue((packet, size_bytes), cos):
-            self.dropped += 1
+            self.dropped += _units(packet)
             if tel.enabled:
                 tel.link_drops.labels(
                     self.src.node, self.dst.node, "queue-overflow"
-                ).inc()
+                ).inc(_units(packet))
             return False
         if tel.enabled:
             tel.queue_depth.labels(self.src.node, self.dst.node).set(
@@ -175,11 +186,14 @@ class SimplexChannel:
     def _tx_done(self, packet: Any, size_bytes: int, epoch: int) -> None:
         if epoch != self._epoch:
             return  # the channel went down while transmitting
-        self.tx_packets += 1
+        count = _units(packet)
+        self.tx_packets += count
         self.tx_bytes += size_bytes
         tel = get_telemetry()
         if tel.enabled:
-            tel.link_tx_packets.labels(self.src.node, self.dst.node).inc()
+            tel.link_tx_packets.labels(self.src.node, self.dst.node).inc(
+                count
+            )
             tel.link_tx_bytes.labels(self.src.node, self.dst.node).inc(
                 size_bytes
             )
@@ -190,27 +204,34 @@ class SimplexChannel:
                     self.src.node, self.dst.node, size_bytes
                 )
         if self.loss_rate and self._loss_rng.random() < self.loss_rate:
-            # lost on the wire: transmitted but never arrives
-            self.lost += 1
+            # lost on the wire: transmitted but never arrives (for an
+            # aggregate the whole train is the loss unit -- one RNG
+            # draw, so the scalar path's draw sequence is untouched)
+            self.lost += count
             if tel.enabled:
                 tel.link_drops.labels(
                     self.src.node, self.dst.node, "wire-loss"
-                ).inc()
+                ).inc(count)
         else:
             if self.corrupt_rate and (
                 self._corrupt_rng.random() < self.corrupt_rate
             ):
-                self.corrupted += 1
+                self.corrupted += count
                 if tel.enabled:
                     tel.link_drops.labels(
                         self.src.node, self.dst.node, "corrupted"
-                    ).inc()
+                    ).inc(count)
                 if self.corruptor is None:
                     # no corruptor: an unrecoverable frame, i.e. a loss
-                    self.lost += 1
+                    self.lost += count
                     self._start_next()
                     return
-                packet = self.corruptor(packet)
+                if getattr(packet, "is_aggregate", False):
+                    packet = packet.with_template(
+                        self.corruptor(packet.template)
+                    )
+                else:
+                    packet = self.corruptor(packet)
             self.scheduler.after(
                 self.delay_s, lambda: self._arrive(packet, epoch)
             )

@@ -47,11 +47,16 @@ class Delivery:
 
 @dataclass
 class Drop:
-    """One packet lost in the domain."""
+    """Packets lost in the domain at one point in time.
+
+    Scalar processing always records ``count == 1``; a dropped flow
+    aggregate records its whole train as one entry.
+    """
 
     time: float
     node: str
     reason: str
+    count: int = 1
 
 
 class MPLSNetwork:
@@ -132,6 +137,29 @@ class MPLSNetwork:
         self.ingress_guard: Optional[
             Callable[[str, IPv4Packet], bool]
         ] = None
+        #: batched fast-path mode (see :meth:`enable_batching`)
+        self.batching = False
+        #: delivered flow aggregates (batched mode only); scalar
+        #: deliveries stay in :attr:`deliveries`
+        self.aggregate_deliveries: List[Any] = []
+
+    # -- batched fast path ---------------------------------------------------
+    def enable_batching(self, enabled: bool = True) -> None:
+        """Switch the data plane between the scalar per-packet path
+        (the differential oracle) and the batched fast path: per-node
+        flow caches plus flow-aggregate processing.
+
+        Per-packet traffic behaves identically in both modes -- same
+        decisions, same telemetry, same reports -- which
+        ``tests/integration/test_batching_equivalence.py`` asserts
+        byte-for-byte; see ``docs/batching.md`` for the contract.
+        """
+        self.batching = enabled
+        for node in self.nodes.values():
+            if enabled:
+                node.enable_batching()
+            else:
+                node.disable_batching()
 
     # -- wiring ----------------------------------------------------------
     def node(self, name: str) -> LSRNode:
@@ -172,8 +200,27 @@ class MPLSNetwork:
         """A sink for traffic generators feeding ``ler``."""
         return lambda packet: self._process(ler, packet)
 
+    def inject_aggregate(self, node: str, aggregate: Any) -> None:
+        """Hand a flow aggregate to a node's data plane (batched mode)."""
+        if node not in self.nodes:
+            raise KeyError(f"unknown node {node!r}")
+        if not self.batching:
+            raise RuntimeError(
+                "aggregates need batching: call enable_batching() first"
+            )
+        self.scheduler.after(
+            0.0, lambda: self._process_aggregate(node, aggregate)
+        )
+
+    def aggregate_sink(self, ler: str) -> Callable[[Any], None]:
+        """A sink for aggregate traffic generators feeding ``ler``."""
+        return lambda aggregate: self._process_aggregate(ler, aggregate)
+
     def _on_arrival(self, iface: Interface, packet: Any) -> None:
-        self._process(iface.node, packet)
+        if getattr(packet, "is_aggregate", False):
+            self._process_aggregate(iface.node, packet)
+        else:
+            self._process(iface.node, packet)
 
     def _process(
         self, node_name: str, packet: Union[IPv4Packet, MPLSPacket]
@@ -261,19 +308,120 @@ class MPLSNetwork:
                 out,
             )
 
+    def _process_aggregate(self, node_name: str, aggregate: Any) -> None:
+        """The aggregate counterpart of :meth:`_process`: one decision
+        per hop applied to the whole train.  An empty aggregate is a
+        no-op (no events, no accounting)."""
+        if aggregate.count <= 0:
+            return
+        now = self.scheduler.now
+        if node_name in self._down_nodes:
+            self._record_drop(
+                now,
+                node_name,
+                f"{node_name}: node down",
+                aggregate.template,
+                count=aggregate.count,
+            )
+            return
+        node = self.nodes[node_name]
+        template = aggregate.template
+        if isinstance(template, IPv4Packet) and self._is_attached(
+            node_name, template
+        ):
+            self._deliver_aggregate(node_name, aggregate)
+            return
+        if (
+            self.ingress_guard is not None
+            and isinstance(template, IPv4Packet)
+            and self.ingress_guard(node_name, template)
+        ):
+            self._record_drop(
+                now,
+                node_name,
+                f"{node_name}: overload shed",
+                template,
+                count=aggregate.count,
+            )
+            return
+        decision = node.receive_aggregate(aggregate)
+        relookups = 0
+        while (
+            decision.action is Action.FORWARD_MPLS
+            and decision.next_hop is None
+            and isinstance(decision.packet, MPLSPacket)
+            and relookups < 4
+        ):
+            aggregate = aggregate.with_template(decision.packet)
+            decision = node.receive_aggregate(aggregate)
+            relookups += 1
+        now = self.scheduler.now
+        if decision.action is Action.DISCARD:
+            self.drops.append(
+                Drop(
+                    now,
+                    node_name,
+                    decision.reason or "unspecified",
+                    count=aggregate.count,
+                )
+            )
+            return
+        if decision.action is Action.DELIVER_LOCAL:
+            return
+        out = decision.packet
+        aggregate = aggregate.with_template(out)
+        if decision.action is Action.FORWARD_IP:
+            if decision.next_hop is None or self._is_attached(
+                node_name, out
+            ):
+                self._deliver_aggregate(node_name, aggregate)
+                return
+        if decision.next_hop is None:
+            self._record_drop(
+                now,
+                node_name,
+                f"{node_name}: no next hop resolved",
+                out,
+                count=aggregate.count,
+            )
+            return
+        link = self._link_of.get((node_name, decision.next_hop))
+        if link is None:
+            self._record_drop(
+                now,
+                node_name,
+                f"{node_name}: no link towards {decision.next_hop}",
+                out,
+                count=aggregate.count,
+            )
+            return
+        channel = link.channel_from(node_name)
+        accepted = channel.send(
+            aggregate, aggregate.length, cos=cos_of_packet(out)
+        )
+        if not accepted:
+            self._record_drop(
+                now,
+                node_name,
+                f"{node_name}: queue overflow towards {decision.next_hop}",
+                out,
+                count=aggregate.count,
+            )
+
     def _record_drop(
         self,
         now: float,
         node_name: str,
         reason: str,
         packet: Optional[Union[IPv4Packet, MPLSPacket]] = None,
+        count: int = 1,
     ) -> None:
-        self.drops.append(Drop(now, node_name, reason))
+        self.drops.append(Drop(now, node_name, reason, count=count))
         tel = get_telemetry()
         if tel.enabled:
             tel.drops.labels(
                 node_name, reason.split(":")[-1].strip()
-            ).inc()
+            ).inc(count)
             if packet is not None:
                 inner = (
                     packet.inner
@@ -321,6 +469,40 @@ class MPLSNetwork:
         for prefix, sink in self._hosts.get(node_name, []):
             if sink is not None and prefix.contains(packet.dst):
                 sink(packet)
+
+    def _deliver_aggregate(self, node_name: str, aggregate: Any) -> None:
+        """Record a whole aggregate as delivered: exact packet/byte
+        totals, analytic per-packet latencies (see
+        :class:`~repro.net.aggregate.AggregateDelivery`).  Host sinks
+        receive the aggregate's template only when they opted in via
+        an ``is_aggregate``-aware callable; per-packet sinks are not
+        called for bulk packets."""
+        from repro.net.aggregate import AggregateDelivery
+
+        inner = aggregate.inner
+        delivery = AggregateDelivery(
+            time=self.scheduler.now,
+            node=node_name,
+            flow_id=inner.flow_id,
+            count=aggregate.count,
+            bytes=aggregate.length,
+            first_created_at=aggregate.first_created_at,
+            interval=aggregate.interval,
+        )
+        self.aggregate_deliveries.append(delivery)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.packets.labels(node_name, "delivered").inc(aggregate.count)
+            hist = tel.delivery_latency.labels(node_name)
+            for latency in delivery.latencies():
+                hist.observe(latency)
+            if tel.flows is not None:
+                tel.flows.record_delivery_bulk(
+                    node_name,
+                    inner.flow_id,
+                    aggregate.count,
+                    aggregate.length,
+                )
 
     # -- failure injection ---------------------------------------------------
     def fail_link(self, a: str, b: str) -> None:
@@ -428,16 +610,28 @@ class MPLSNetwork:
 
     # -- statistics ---------------------------------------------------------
     def latencies(self, flow_id: Optional[int] = None) -> List[float]:
-        return [
+        values = [
             d.latency
             for d in self.deliveries
             if flow_id is None or d.packet.flow_id == flow_id
         ]
+        for aggregate in self.aggregate_deliveries:
+            if flow_id is None or aggregate.flow_id == flow_id:
+                values.extend(aggregate.latencies())
+        return values
 
     def delivered_count(self, flow_id: Optional[int] = None) -> int:
         if flow_id is None:
-            return len(self.deliveries)
-        return sum(1 for d in self.deliveries if d.packet.flow_id == flow_id)
+            scalar = len(self.deliveries)
+        else:
+            scalar = sum(
+                1 for d in self.deliveries if d.packet.flow_id == flow_id
+            )
+        return scalar + sum(
+            a.count
+            for a in self.aggregate_deliveries
+            if flow_id is None or a.flow_id == flow_id
+        )
 
     def drop_count(self) -> int:
-        return len(self.drops)
+        return sum(d.count for d in self.drops)

@@ -17,6 +17,18 @@ from repro.net.network import MPLSNetwork
 from repro.net.packet import IPv4Packet
 from repro.net.topology import paper_figure1
 from repro.net.traffic import CBRSource
+from repro.obs import get_telemetry
+
+
+@pytest.fixture(autouse=True)
+def _no_telemetry_leak():
+    """Constructing a NetworkTracer flips the process-wide telemetry
+    switch on and attaches an everything-sampling span recorder;
+    ``detach()`` is the restore contract.  These tests keep tracers
+    alive to the end, so restore the global state here instead of
+    leaking span capture into every later test module."""
+    yield
+    get_telemetry().disable().reset()
 
 
 def _network():

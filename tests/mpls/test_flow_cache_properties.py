@@ -1,0 +1,148 @@
+"""Property tests: the flow cache never serves a stale decision.
+
+Random interleavings of table mutations -- installs, removes,
+transactional commit/rollback, LDP-withdraw-style stale flushes --
+with packet processing, where every cache hit is cross-checked against
+a fresh scalar lookup over the same tables
+(``FlowCache(cross_check=True)`` raises on any divergence).  A second
+oracle engine processes the same packet sequence scalar-style and the
+OpCounts tallies must match exactly at the end.
+
+Telemetry stays disabled throughout (the cross-check contract).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpls.fec import PrefixFEC
+from repro.mpls.forwarding import ForwardingEngine
+from repro.mpls.fastpath import FlowCache
+from repro.mpls.label import LabelEntry, LabelOp
+from repro.mpls.nhlfe import NHLFE
+from repro.mpls.stack import LabelStack
+from repro.net.packet import IPv4Packet, MPLSPacket
+
+LABELS = [200, 201, 202, 203]
+PREFIXES = ["10.0.0.0/8", "20.0.0.0/8"]
+DESTS = ["10.0.0.1", "10.0.0.2", "20.0.0.5", "99.0.0.1"]
+
+# one step of the interleaving: (kind, parameters...)
+step = st.one_of(
+    st.tuples(
+        st.just("packet_ip"),
+        st.sampled_from(DESTS),
+        st.integers(min_value=1, max_value=64),  # ttl
+    ),
+    st.tuples(
+        st.just("packet_mpls"),
+        st.sampled_from(LABELS),
+        st.integers(min_value=1, max_value=64),  # label ttl
+    ),
+    st.tuples(
+        st.just("ilm_install"),
+        st.sampled_from(LABELS),
+        st.integers(min_value=100, max_value=999),  # out label
+    ),
+    st.tuples(st.just("ilm_remove"), st.sampled_from(LABELS)),
+    st.tuples(
+        st.just("ftn_install"),
+        st.sampled_from(PREFIXES),
+        st.integers(min_value=100, max_value=999),
+    ),
+    st.tuples(
+        st.just("txn"),
+        st.sampled_from(["commit", "rollback"]),
+        st.sampled_from(LABELS),
+        st.integers(min_value=100, max_value=999),
+    ),
+    st.tuples(st.just("withdraw_all")),  # mark stale + flush
+)
+
+
+def _apply_mutation(table_op, engine):
+    kind = table_op[0]
+    if kind == "ilm_install":
+        _, label, out = table_op
+        engine.ilm.install(
+            label, NHLFE(op=LabelOp.SWAP, out_label=out, next_hop="n")
+        )
+    elif kind == "ilm_remove":
+        _, label = table_op
+        if engine.ilm.get(label) is not None:
+            engine.ilm.remove(label)
+    elif kind == "ftn_install":
+        _, prefix, out = table_op
+        engine.ftn.install(
+            PrefixFEC(prefix),
+            NHLFE(op=LabelOp.PUSH, out_label=out, next_hop="n"),
+        )
+    elif kind == "txn":
+        _, mode, label, out = table_op
+        engine.ilm.begin()
+        engine.ilm.install(
+            label, NHLFE(op=LabelOp.SWAP, out_label=out, next_hop="t")
+        )
+        if mode == "commit":
+            engine.ilm.commit()
+        else:
+            engine.ilm.rollback()
+    elif kind == "withdraw_all":
+        engine.ilm.mark_all_stale()
+        engine.ilm.flush_stale()
+
+
+def _make_packet(table_op, seq):
+    kind = table_op[0]
+    if kind == "packet_ip":
+        _, dst, ttl = table_op
+        return IPv4Packet(
+            src="192.168.0.1", dst=dst, ttl=ttl, seq=seq
+        )
+    _, label, ttl = table_op
+    return MPLSPacket(
+        LabelStack([LabelEntry(label=label, ttl=ttl)]),
+        IPv4Packet(src="192.168.0.1", dst="10.0.0.9", seq=seq),
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(steps=st.lists(step, min_size=1, max_size=60))
+def test_random_interleavings_never_serve_stale_decisions(steps):
+    engine = ForwardingEngine(node_name="lsr-p")
+    cache = FlowCache(engine, capacity=4, cross_check=True)
+    oracle = ForwardingEngine(engine.ilm, engine.ftn, "lsr-p")
+    seq = 0
+    for table_op in steps:
+        if table_op[0].startswith("packet"):
+            packet = _make_packet(table_op, seq)
+            seq += 1
+            got = cache.process(packet)  # raises FlowCacheInconsistency
+            want = oracle.process(packet)
+            assert got.action is want.action
+            assert got.packet == want.packet
+            assert got.next_hop == want.next_hop
+            assert got.reason == want.reason
+        else:
+            _apply_mutation(table_op, engine)
+    # after any interleaving, the cached tally equals scalar processing
+    assert engine.counts == oracle.counts
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    steps=st.lists(step, min_size=1, max_size=40),
+    capacity=st.integers(min_value=1, max_value=3),
+)
+def test_tiny_capacities_thrash_but_stay_consistent(steps, capacity):
+    """Eviction pressure (capacity 1-3) exercises refill-after-evict
+    against every mutation pattern."""
+    engine = ForwardingEngine(node_name="lsr-t")
+    cache = FlowCache(engine, capacity=capacity, cross_check=True)
+    seq = 0
+    for table_op in steps:
+        if table_op[0].startswith("packet"):
+            cache.process(_make_packet(table_op, seq))
+            seq += 1
+        else:
+            _apply_mutation(table_op, engine)
+    assert len(cache) <= capacity
