@@ -439,6 +439,35 @@ def cmd_spans(
     return 0
 
 
+def _render_fault_kinds() -> str:
+    """Enumerate every fault kind with its target arity and accepted
+    params, straight from the validation table -- what ``from_dict``
+    accepts is exactly what this prints."""
+    from repro.faults.scenario import (
+        FAULT_PARAMS,
+        LINK_KINDS,
+        SECURITY_KINDS,
+    )
+
+    lines = []
+    for kind, params in FAULT_PARAMS.items():
+        arity = (
+            "link (two nodes)" if kind in LINK_KINDS else "node"
+        )
+        tag = (
+            "  [adversarial: needs a 'security' key]"
+            if kind in SECURITY_KINDS
+            else ""
+        )
+        lines.append(f"{kind.value} -- target: {arity}{tag}")
+        if params:
+            for name in sorted(params):
+                lines.append(f"    {name}: {params[name]}")
+        else:
+            lines.append("    (no params)")
+    return "\n".join(lines)
+
+
 def cmd_chaos(
     scenario_path: Optional[str],
     seed: int = 0,
@@ -446,15 +475,22 @@ def cmd_chaos(
     audit: Optional[float] = None,
     overload: Optional[str] = None,
     batching: Optional[str] = None,
+    mitigation: Optional[str] = None,
+    list_faults: bool = False,
 ) -> int:
     """Run a fault-injection scenario file and print its report.
 
     Stdout carries exactly the JSON report (the CI smoke step compares
     two runs byte-for-byte); diagnostics go to stderr.
+    ``--list-faults`` instead enumerates the fault taxonomy (kinds,
+    target arity, accepted params) and exits.
     """
     from repro.faults import Scenario, ScenarioError, run_scenario
     from repro.obs import telemetry_session
 
+    if list_faults:
+        print(_render_fault_kinds())
+        return 0
     if scenario_path is None:
         print("error: chaos needs a scenario file "
               "(e.g. examples/chaos_smoke.json)", file=sys.stderr)
@@ -477,6 +513,13 @@ def cmd_chaos(
         scenario.overload = {
             **(scenario.overload or {}),
             "enabled": overload == "on",
+        }
+    if mitigation is not None:
+        # run the same seeded attacks with every guard up, or stand
+        # them all down for the blast-radius baseline
+        scenario.security = {
+            **(scenario.security or {}),
+            "enabled": mitigation == "on",
         }
     try:
         with telemetry_session():
@@ -728,6 +771,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scalar run of the same seed (default: off)",
     )
     parser.add_argument(
+        "--mitigation",
+        choices=["on", "off"],
+        default=None,
+        help="chaos only: force the security guards on, or stand them "
+        "down for the unmitigated blast-radius baseline (overrides "
+        "the scenario's own 'security.enabled' key)",
+    )
+    parser.add_argument(
+        "--list-faults",
+        action="store_true",
+        help="chaos only: enumerate the fault kinds, their target "
+        "arity and accepted params, then exit",
+    )
+    parser.add_argument(
         "--flow",
         metavar="ID",
         type=int,
@@ -806,6 +863,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             audit=args.audit,
             overload=args.overload,
             batching=args.batching,
+            mitigation=args.mitigation,
+            list_faults=args.list_faults,
         )
     if args.command == "flows":
         return cmd_flows(

@@ -28,7 +28,7 @@ from __future__ import annotations
 import random
 import zlib
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -60,6 +60,22 @@ class MsgType(Enum):
     KEEPALIVE = "keepalive"
     LABEL_MAPPING = "label-mapping"
     LABEL_WITHDRAW = "label-withdraw"
+    #: session teardown notification (RFC 5036 shutdown); the message a
+    #: hijacker forges, so it is the one the auth token protects
+    SHUTDOWN = "shutdown"
+    #: a TTL-expiry punt from the data plane: pure control-CPU load
+    TTL_EXCEPTION = "ttl-exception"
+
+
+def session_token(a: str, b: str) -> int:
+    """The per-session authentication token (a TCP-MD5 stand-in).
+
+    Deterministic over the sorted node pair, modelling a pre-shared
+    key per session (RFC 5036 section 2.9); never zero, so a forged
+    ``auth=0`` cannot collide with a real token.
+    """
+    lo, hi = (a, b) if a <= b else (b, a)
+    return zlib.crc32(f"{lo}|{hi}|ldp-md5".encode("utf-8")) or 1
 
 
 @dataclass(frozen=True)
@@ -70,6 +86,10 @@ class LDPMessage:
     #: FEC id for mapping/withdraw messages
     fec_id: Optional[str] = None
     label: Optional[int] = None
+    #: session auth token; :meth:`MessageLDPProcess.send` stamps it
+    #: when authentication is armed (a forged non-None value survives,
+    #: which is what makes the hijack fault testable)
+    auth: Optional[int] = None
 
 
 @dataclass
@@ -126,6 +146,10 @@ class LDPSpeaker:
             self._on_mapping(msg)
         elif msg.kind is MsgType.LABEL_WITHDRAW:
             self._on_withdraw(msg)
+        elif msg.kind is MsgType.SHUTDOWN:
+            self.process._handle_shutdown(msg)
+        # TTL_EXCEPTION carries no protocol state: servicing it *was*
+        # the work (one control-CPU slot burned per punt)
 
     def _on_hello(self, msg: LDPMessage) -> None:
         first = msg.src not in self.heard
@@ -348,6 +372,20 @@ class LDPSpeaker:
             self._reinstall_from_retained(fec_id)
 
     # -- session failure ------------------------------------------------------
+    def _fecs_via(self, peer: str) -> List[str]:
+        """FEC ids whose installed forwarding state here routes via
+        ``peer`` (egress originations excluded) -- the state a session
+        loss to ``peer`` would tear down."""
+        affected: List[str] = []
+        for fec_id, label in list(self.local_labels.items()):
+            state = self.process.fecs.get(fec_id)
+            if state is None or self.name == state.egress:
+                continue
+            nhlfe = self.node.ilm.get(label)
+            if nhlfe is not None and nhlfe.next_hop == peer:
+                affected.append(fec_id)
+        return affected
+
     def session_lost(self, peer: str) -> None:
         """The session to ``peer`` dropped: purge every binding learned
         from it and withdraw any mapping of ours that was installed via
@@ -360,14 +398,7 @@ class LDPSpeaker:
         # forget discovery state too, so reconnection re-runs the full
         # HELLO -> INIT -> KEEPALIVE handshake
         self.heard.discard(peer)
-        affected: List[str] = []
-        for fec_id, label in list(self.local_labels.items()):
-            state = self.process.fecs.get(fec_id)
-            if state is None or self.name == state.egress:
-                continue
-            nhlfe = self.node.ilm.get(label)
-            if nhlfe is not None and nhlfe.next_hop == peer:
-                affected.append(fec_id)
+        affected = self._fecs_via(peer)
         for fec_id in list(self.bindings):
             self.bindings[fec_id].pop(peer, None)
         for fec_id in affected:
@@ -419,6 +450,14 @@ class MessageLDPProcess:
         self.retry_jitter = retry_jitter
         self.jitter_seed = jitter_seed
         self._jitter_rngs: Dict[Tuple[str, str], random.Random] = {}
+        # -- adversarial security (None = legacy unauthenticated) -----------
+        #: the run's :class:`repro.security.SecurityMonitor`, attached
+        #: by its ``arm()``; with one attached (and authentication on)
+        #: outgoing messages carry session tokens and shutdowns are
+        #: verified against them
+        self.security = None
+        #: shutdowns rejected for a bad or missing auth token
+        self.auth_rejected = 0
         # -- overload protection (None = legacy unbounded delivery) ---------
         self.overload = overload
         self.holds_expired = 0
@@ -446,6 +485,16 @@ class MessageLDPProcess:
     def send(self, msg: LDPMessage) -> None:
         if not self.topology.has_link(msg.src, msg.dst):
             return  # adjacency gone (link failed mid-flight)
+        sec = self.security
+        if (
+            sec is not None
+            and sec.config.enabled
+            and sec.config.authenticate
+            and msg.auth is None
+        ):
+            # the legitimate sender signs its messages; a forger set a
+            # (wrong) token already, and that forgery must survive
+            msg = replace(msg, auth=session_token(msg.src, msg.dst))
         self.message_counts[msg.kind] += 1
         tel = get_telemetry()
         if tel.enabled:
@@ -512,6 +561,53 @@ class MessageLDPProcess:
             )
         else:
             self._cpu_busy[name] = False
+
+    # -- adversarial security hooks -----------------------------------------
+    def _handle_shutdown(self, msg: LDPMessage) -> None:
+        """A SHUTDOWN reached ``msg.dst``: verify its session token
+        (when authentication is armed), then tear the session down.
+        This is the path a hijacker forges -- with auth on, a forged
+        token is rejected and counted; with auth off, the forgery
+        tears down a healthy session."""
+        sec = self.security
+        now = self.scheduler.now
+        if (
+            sec is not None
+            and sec.config.enabled
+            and sec.config.authenticate
+            and msg.auth != session_token(msg.src, msg.dst)
+        ):
+            self.auth_rejected += 1
+            sec.note_auth_mismatch(now, node=msg.dst, peer=msg.src)
+            return
+        # measure what the accepted shutdown is about to tear down,
+        # before drop_session purges it on both sides
+        affected = sorted(
+            set(self.speakers[msg.dst]._fecs_via(msg.src))
+            | set(self.speakers[msg.src]._fecs_via(msg.dst))
+        )
+        if sec is not None:
+            sec.note_hijack_teardown(now, msg.dst, msg.src, affected)
+        self.drop_session(msg.src, msg.dst, reason="shutdown received")
+
+    def exception_load(self, node: str, count: int) -> None:
+        """``count`` TTL-exception punts land on ``node``'s control CPU.
+
+        Exception work rides the same bounded queue as signaling
+        (class SETUP, so a flood of punts can never outrank the
+        keepalives it is trying to starve); each accepted punt burns
+        one service slot, which is exactly how an unmitigated low-TTL
+        flood starves liveness on an unprioritized queue.
+        """
+        if not self.queues:
+            return
+        tel = get_telemetry()
+        for _ in range(count):
+            msg = LDPMessage(MsgType.TTL_EXCEPTION, node, node)
+            self.message_counts[msg.kind] += 1
+            if tel.enabled:
+                tel.ldp_messages.labels(msg.kind.value).inc()
+            self._control_arrive(msg)
 
     # -- liveness (keepalive refresh + hold-timer expiry) -------------------
     def _liveness_tick(self) -> None:
@@ -590,6 +686,16 @@ class MessageLDPProcess:
         was_up = (
             b in self.speakers[a].sessions or a in self.speakers[b].sessions
         )
+        if reason == "hold timer expired" and self.security is not None:
+            # a starved hold timer during a flood attack: record what
+            # the expiry tears down, before the purge below removes it
+            affected = sorted(
+                set(self.speakers[a]._fecs_via(b))
+                | set(self.speakers[b]._fecs_via(a))
+            )
+            self.security.note_hold_expiry_teardown(
+                self.scheduler.now, a, b, affected
+            )
         tel = get_telemetry()
         for x, y in ((a, b), (b, a)):
             if y in self.speakers[x].sessions:

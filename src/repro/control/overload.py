@@ -62,8 +62,13 @@ _KIND_TO_CLASS: Dict[str, MessageClass] = {
     "keepalive": MessageClass.LIVENESS,
     "label-withdraw": MessageClass.TEARDOWN,
     "label-release": MessageClass.TEARDOWN,
+    # a shutdown frees session state: teardown priority, like withdraw
+    "shutdown": MessageClass.TEARDOWN,
     "label-mapping": MessageClass.SETUP,
     "path": MessageClass.SETUP,
+    # TTL-exception punts are sheddable bulk by design: a flood of them
+    # must never outrank the keepalives it is trying to starve
+    "ttl-exception": MessageClass.SETUP,
 }
 
 

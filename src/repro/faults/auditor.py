@@ -72,6 +72,12 @@ class ConsistencyAuditor:
     repair:
         When True (the default) drift is repaired through the node's
         scrub path; when False the auditor only detects and reports.
+    security:
+        The run's :class:`repro.security.SecurityMonitor`, or None.
+        With one attached, every pass additionally runs the monitor's
+        cross-FEC reachability check (VPN cross-connect detection and
+        quarantine); the legacy audit records are untouched, so
+        pre-security reports stay byte-identical.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class ConsistencyAuditor:
         start: Optional[float] = None,
         stop: Optional[float] = None,
         repair: bool = True,
+        security=None,
     ) -> None:
         if period <= 0:
             raise ValueError("audit period must be positive")
@@ -88,6 +95,7 @@ class ConsistencyAuditor:
         self.period = period
         self.stop = stop
         self.repair = repair
+        self.security = security
         self.records: List[AuditRecord] = []
         #: node -> consecutive passes observed mid-transaction
         self._open_streak: Dict[str, int] = {}
@@ -97,6 +105,11 @@ class ConsistencyAuditor:
     # -- one pass ------------------------------------------------------------
     def _run_pass(self) -> None:
         now = self.network.scheduler.now
+        if self.security is not None:
+            # the adversarial cross-FEC check rides the audit cadence;
+            # its findings live on the security monitor, not in the
+            # audit records (which keep their legacy byte-exact shape)
+            self.security.run_cross_fec_audit(now)
         record = AuditRecord(time=now)
         for name in sorted(self.network.nodes):
             node = self.network.nodes[name]

@@ -80,6 +80,9 @@ class ChaosRun:
     flows: Any = None
     collector: Any = None
     alert_engine: Any = None
+    #: the armed SecurityMonitor when the scenario carries a
+    #: ``security`` key
+    security: Any = None
 
 
 def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
@@ -174,6 +177,26 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         source.begin()
         sources.append(source)
 
+    security = None
+    if scenario.security is not None:
+        from repro.security import SecurityConfig, SecurityMonitor
+
+        try:
+            security_cfg = SecurityConfig.from_dict(scenario.security)
+        except ValueError as exc:
+            raise ScenarioError(str(exc))
+        security = SecurityMonitor(
+            network, security_cfg, message_ldp=message_ldp
+        )
+        security.flows = [
+            (flow.prefix, flow.egress, source.flow_id)
+            for flow, source in zip(scenario.traffic, sources)
+        ]
+        security.flow_dsts = {
+            flow.prefix: flow.dst for flow in scenario.traffic
+        }
+        security.arm()
+
     injector = FaultInjector(
         network,
         ldp=ldp,
@@ -181,6 +204,7 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         frr=frr,
         detection_delay_s=scenario.detection_delay_s,
         seed=seed,
+        security=security,
     )
     schedule = injector.apply(scenario, seed)
     auditor = None
@@ -197,6 +221,7 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
             ),
             stop=scenario.duration,
             repair=bool(cfg.get("repair", True)),
+            security=security,
         )
     oam = None
     if scenario.oam is not None:
@@ -317,6 +342,7 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         flows=accountant,
         collector=collector,
         alert_engine=alert_engine,
+        security=security,
     )
 
 
@@ -388,6 +414,8 @@ def run_scenario(
         if sink is not None:
             tel.events.remove_sink(sink)
     run.injector.finalize()
+    if run.security is not None:
+        run.security.finalize()
     if recorder is not None:
         recorder.finalize()
         recorder.detach()
@@ -485,14 +513,75 @@ def _flows_section(run: ChaosRun) -> Dict[str, Any]:
     return section
 
 
+def _security_section(run: ChaosRun) -> Dict[str, Any]:
+    """The gated ``security`` report section (scenario has the key)."""
+    monitor = run.security
+    cfg = monitor.config
+    blast_total = sorted(
+        set().union(*(r.blast_fecs for r in monitor.attacks))
+        if monitor.attacks
+        else set()
+    )
+    return {
+        "enabled": cfg.enabled,
+        "guards": {
+            "edge_guard": cfg.edge_guard,
+            "authenticate": cfg.authenticate,
+            "cross_check": cfg.cross_check,
+            "quarantine": cfg.quarantine,
+            "exception_rate": cfg.exception_rate,
+            "exception_burst": cfg.exception_burst,
+        },
+        "attacks": [
+            {
+                "kind": r.kind,
+                "target": r.target,
+                "injected_at": _round(r.injected_at),
+                "detected_at": _round(r.detected_at),
+                "time_to_detect_s": _round(r.time_to_detect),
+                "mitigated_at": _round(r.mitigated_at),
+                "time_to_mitigate_s": _round(r.time_to_mitigate),
+                "blast_radius_fecs": r.blast_radius,
+                "blast_fecs": sorted(r.blast_fecs),
+                "quarantined_fecs": sorted(r.quarantined_fecs),
+                "packets_accepted": r.packets_accepted,
+                "packets_rejected": r.packets_rejected,
+                "packets_leaked": r.packets_leaked,
+                "detail": r.detail,
+            }
+            for r in monitor.attacks
+        ],
+        "blast_radius_total": len(blast_total),
+        "blast_fecs_total": blast_total,
+        "guard_rejections": monitor.guard_rejections,
+        "auth_mismatches": monitor.auth_mismatches,
+        "exception_path": {
+            "total": monitor.exceptions_total,
+            "forwarded": monitor.exceptions_forwarded,
+            "limited": monitor.exceptions_limited,
+        },
+        "quarantines": [
+            {
+                "time": _round(t),
+                "node": node,
+                "label": label,
+                "fec": fec,
+                "leaked_to": leaked_to,
+            }
+            for t, node, label, fec, leaked_to in monitor.quarantines
+        ],
+    }
+
+
 def summarize(
     run: ChaosRun, processed: int, sink=None, recorder=None
 ) -> ChaosReport:
     network, injector = run.network, run.injector
     sent = sum(s.sent for s in run.sources)
-    if run.oam is not None:
-        # OAM probes are deliveries too; count traffic flows only so
-        # availability keeps meaning delivered-traffic / sent-traffic
+    if run.oam is not None or run.security is not None:
+        # OAM probes and forged attack packets are deliveries too;
+        # count traffic flows only so availability keeps meaning
+        # delivered-traffic / sent-traffic
         delivered = sum(
             network.delivered_count(s.flow_id) for s in run.sources
         )
@@ -613,6 +702,8 @@ def summarize(
         report["flows"] = _flows_section(run)
         if run.alert_engine is not None:
             report["alerts"] = run.alert_engine.summary()
+    if run.scenario.security is not None and run.security is not None:
+        report["security"] = _security_section(run)
     if injector.restarts:
         restarts = []
         for restart in injector.restarts:

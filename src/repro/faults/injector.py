@@ -21,8 +21,16 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.faults.scenario import FaultKind, FaultSpec, Scenario, ScenarioError
-from repro.net.packet import MPLSPacket
+from repro.faults.scenario import (
+    SECURITY_KINDS,
+    FaultKind,
+    FaultSpec,
+    Scenario,
+    ScenarioError,
+)
+from repro.mpls.label import LabelEntry
+from repro.mpls.stack import LabelStack
+from repro.net.packet import IPv4Packet, MPLSPacket
 from repro.obs.events import FaultHealed, FaultInjected, StaleEntriesFlushed
 from repro.obs.telemetry import get_telemetry
 
@@ -125,6 +133,10 @@ class FaultInjector:
     seed:
         Seeds the injector's private RNG (bit positions for
         corruption/bit-flips); independent of the schedule's seed.
+    security:
+        Optional :class:`~repro.security.SecurityMonitor`; required by
+        the adversarial fault kinds, which account every forged input
+        through it (and are measured against its guards).
     """
 
     def __init__(
@@ -135,12 +147,14 @@ class FaultInjector:
         frr=None,
         detection_delay_s: float = 1e-3,
         seed: int = 0,
+        security=None,
     ) -> None:
         self.network = network
         self.scheduler = network.scheduler
         self.ldp = ldp
         self.message_ldp = message_ldp
         self.frr = frr
+        self.security = security
         self.detection_delay_s = detection_delay_s
         self.rng = random.Random((seed << 4) ^ 0xB17F11B)
         self.records: List[FaultRecord] = []
@@ -198,6 +212,31 @@ class FaultInjector:
             raise ScenarioError(
                 "signaling-storm needs control = 'ldp-messages' or 'frr'"
             )
+        if spec.kind in SECURITY_KINDS:
+            if self.message_ldp is None:
+                raise ScenarioError(
+                    f"{spec.kind.value} needs control = 'ldp-messages'"
+                )
+            if self.security is None:
+                raise ScenarioError(
+                    f"{spec.kind.value} needs a security monitor "
+                    "(scenario 'security' key)"
+                )
+        if spec.kind in (FaultKind.LABEL_SPOOF, FaultKind.TTL_FLOOD):
+            node = self.network.nodes[spec.target[0]]
+            if not getattr(node, "is_edge", False):
+                raise ScenarioError(
+                    f"{spec.kind.value} targets {spec.target[0]!r}, "
+                    "which is not an edge LER: forged traffic enters "
+                    "over the trust boundary"
+                )
+        if spec.kind is FaultKind.TTL_FLOOD and not getattr(
+            self.message_ldp, "queues", None
+        ):
+            raise ScenarioError(
+                "ttl-flood needs an 'overload' key: the exception path "
+                "lands in the bounded control queues"
+            )
 
     def schedule_fault(self, spec: FaultSpec) -> FaultRecord:
         """Arm one fault's inject (and heal, if any) on the scheduler."""
@@ -221,6 +260,10 @@ class FaultInjector:
             FaultKind.LDP_SESSION_DROP: self._inject_session_drop,
             FaultKind.IB_BITFLIP: self._inject_bitflip,
             FaultKind.SIGNALING_STORM: self._inject_signaling_storm,
+            FaultKind.LABEL_SPOOF: self._inject_label_spoof,
+            FaultKind.LDP_HIJACK: self._inject_ldp_hijack,
+            FaultKind.XCONNECT_LEAK: self._inject_xconnect_leak,
+            FaultKind.TTL_FLOOD: self._inject_ttl_flood,
         }[spec.kind]
         handler(record)
         tel = get_telemetry()
@@ -247,6 +290,10 @@ class FaultInjector:
             FaultKind.LDP_SESSION_DROP: self._heal_noop,
             FaultKind.IB_BITFLIP: self._heal_bitflip,
             FaultKind.SIGNALING_STORM: self._heal_signaling_storm,
+            FaultKind.LABEL_SPOOF: self._recovered,
+            FaultKind.LDP_HIJACK: self._heal_noop,
+            FaultKind.XCONNECT_LEAK: self._heal_noop,
+            FaultKind.TTL_FLOOD: self._heal_ttl_flood,
         }[spec.kind](record)
         tel = get_telemetry()
         if tel.enabled:
@@ -713,6 +760,208 @@ class FaultInjector:
         record.detail += f"; {torn} storm LSPs torn down"
         self._recovered(record)
 
+    # -- adversarial faults --------------------------------------------------
+    def _inject_label_spoof(self, record: FaultRecord) -> None:
+        """Forge labelled packets over the target LER's trust boundary.
+
+        Each forged packet carries a *valid* local label of the target
+        (cycled over its announced FECs) so an unguarded edge switches
+        it straight down the FEC's LSP; an armed edge guard rejects
+        every one (a labelled packet from outside the domain is never
+        self-originated).
+        """
+        spec = record.spec
+        target = spec.target[0]
+        monitor = self.security
+        window = self._storm_window(record)
+        start = self.scheduler.now
+        packets = int(spec.params.get("packets", 40))
+        ttl = int(spec.params.get("ttl", 64))
+        src = str(spec.params.get("src", "203.0.113.66"))
+        speaker = self.message_ldp.speakers[target]
+        fecs = [
+            f for f in sorted(speaker.local_labels)
+            if not f.startswith("__")
+        ]
+        if not fecs:
+            record.skipped = True
+            record.detail = "target announces no FECs; nothing to spoof"
+            return
+        attack = monitor.begin_attack(spec.kind.value, spec.label, start)
+        for i in range(packets):
+            fec = fecs[i % len(fecs)]
+            label = speaker.local_labels[fec]
+            flow_id = monitor.allocate_forged_flow_id(attack, fec)
+            # aim the inner header at the FEC's real destination so an
+            # accepted forgery travels the whole LSP and counts as a
+            # leak on delivery
+            dst = monitor.flow_dsts.get(fec, src)
+            when = start + self.rng.uniform(0.0, window)
+            inner = IPv4Packet(
+                src=src, dst=dst, ttl=ttl,
+                flow_id=flow_id, seq=i, created_at=when,
+            )
+            pkt = MPLSPacket(
+                LabelStack([LabelEntry(label=label, ttl=ttl)]), inner
+            )
+            self.scheduler.at(
+                when,
+                lambda p=pkt: self.network.inject_external(target, p),
+            )
+        record.detail = (
+            f"{packets} forged stacks across {len(fecs)} FEC(s) "
+            f"over {window:g}s"
+        )
+
+    def _inject_ldp_hijack(self, record: FaultRecord) -> None:
+        """Forge an LDP shutdown against the target session.
+
+        The forged message carries a deliberately *wrong* (but present)
+        auth token -- ``send()`` only stamps the genuine session token
+        onto messages with no token at all, so the forgery reaches
+        ``_handle_shutdown`` as an attacker would deliver it.  With
+        authentication on it is rejected and counted; with it off the
+        session tears down and its FECs are the blast.
+        """
+        from repro.control.ldp_sessions import (
+            LDPMessage,
+            MsgType,
+            session_token,
+        )
+
+        spec = record.spec
+        a, b = spec.target
+        now = self.scheduler.now
+        self.security.begin_attack(spec.kind.value, spec.label, now)
+        forged = session_token(a, b) ^ (1 + self.rng.randrange(0xFFFF))
+        msg = LDPMessage(MsgType.SHUTDOWN, a, b, auth=forged)
+        self.message_ldp.send(msg)
+        record.detail = f"forged shutdown {a}->{b} with bad auth token"
+
+    def _inject_xconnect_leak(self, record: FaultRecord) -> None:
+        """Corrupt one ILM entry so a victim FEC's traffic is switched
+        into another FEC's LSP (a VPN cross-connect).
+
+        SEU-style direct table write: the victim's out-label is replaced
+        with the next hop's binding for the imposter FEC, so leaked
+        packets really do arrive at the wrong egress.  The install bumps
+        the table generation, so armed flow caches drop the stale
+        decision and the leak is identical under --batching on|off.
+        """
+        spec = record.spec
+        target = spec.target[0]
+        monitor = self.security
+        now = self.scheduler.now
+        speaker = self.message_ldp.speakers[target]
+        node = self.network.nodes[target]
+        candidates = []
+        for fec_id in sorted(speaker.local_labels):
+            if fec_id.startswith("__"):
+                continue
+            label = speaker.local_labels[fec_id]
+            nhlfe = node.ilm.get(label)
+            if (
+                nhlfe is None
+                or nhlfe.next_hop is None
+                or nhlfe.out_label is None
+            ):
+                continue  # unprogrammed, egress, or PHP entry
+            candidates.append((fec_id, label, nhlfe))
+        victim = spec.params.get("victim")
+        if victim is not None:
+            candidates = [c for c in candidates if c[0] == victim]
+        if not candidates:
+            record.skipped = True
+            record.detail = (
+                "no transit ILM entry to cross-connect"
+                + (f" for victim {victim!r}" if victim else "")
+            )
+            return
+        victim, label, nhlfe = candidates[0]
+        peer = self.message_ldp.speakers[nhlfe.next_hop]
+        imposter = spec.params.get("imposter")
+        imposters = [
+            f for f in sorted(peer.local_labels)
+            if f != victim
+            and not f.startswith("__")
+            and peer.local_labels[f] != nhlfe.out_label
+        ]
+        if imposter is not None:
+            imposters = [f for f in imposters if f == imposter]
+        if not imposters:
+            record.skipped = True
+            record.detail = (
+                f"no imposter FEC at {nhlfe.next_hop} to leak "
+                f"{victim} into"
+            )
+            return
+        imposter = imposters[0]
+        leak_label = peer.local_labels[imposter]
+        node.ilm.install(
+            label, dataclasses.replace(nhlfe, out_label=leak_label)
+        )
+        monitor.begin_attack(spec.kind.value, spec.label, now)
+        monitor.note_xconnect_injected(now, target, victim, imposter)
+        record.detail = (
+            f"{victim} ILM entry at {target} now switches into "
+            f"{imposter}'s LSP"
+        )
+
+    def _inject_ttl_flood(self, record: FaultRecord) -> None:
+        """Storm the target edge with TTL=1 packets aimed at routed
+        prefixes: every one expires at the ingress and punts exception
+        work toward the bounded control queues, where (unmitigated) it
+        competes with keepalives."""
+        spec = record.spec
+        target = spec.target[0]
+        monitor = self.security
+        window = self._storm_window(record)
+        start = self.scheduler.now
+        packets = int(spec.params.get("packets", 400))
+        src = str(spec.params.get("src", "203.0.113.66"))
+        # dst must be a routed prefix: the ingress FTN lookup precedes
+        # its TTL check, so an unroutable flood never reaches the
+        # exception path.  Skip prefixes homed at the target itself --
+        # those deliver locally without ever expiring.
+        local = {
+            prefix
+            for prefix, egress, _ in monitor.flows
+            if egress == target
+        }
+        pairs = sorted(
+            (prefix, str(dst))
+            for prefix, dst in monitor.flow_dsts.items()
+            if prefix not in local
+        )
+        if not pairs:
+            record.skipped = True
+            record.detail = "no routed prefixes to aim the flood at"
+            return
+        attack = monitor.begin_attack(spec.kind.value, spec.label, start)
+        for i in range(packets):
+            prefix, dst = pairs[i % len(pairs)]
+            flow_id = monitor.allocate_forged_flow_id(attack, prefix)
+            when = start + self.rng.uniform(0.0, window)
+            pkt = IPv4Packet(
+                src=src, dst=dst, ttl=1,
+                flow_id=flow_id, seq=i, created_at=when,
+            )
+            self.scheduler.at(
+                when,
+                lambda p=pkt: self.network.inject_external(target, p),
+            )
+        record.detail = f"{packets} TTL=1 packets over {window:g}s"
+
+    def _heal_ttl_flood(self, record: FaultRecord) -> None:
+        target = record.spec.target[0]
+        speaker = self.message_ldp.speakers[target]
+        neighbors = sorted(self.network.topology.neighbors(target))
+        if all(n in speaker.sessions for n in neighbors):
+            # the flood never starved a session to death: recovered as
+            # of the moment it stopped
+            self._recovered(record)
+        # else finalize() back-fills from sessions_recovered
+
     # -- timelines ----------------------------------------------------------
     def _mark_link(self, a: str, b: str, up: bool) -> None:
         key = (a, b) if a <= b else (b, a)
@@ -751,7 +1000,24 @@ class FaultInjector:
         for record in self.records:
             if record.recovered_at is not None or record.skipped:
                 continue
-            if record.spec.kind is FaultKind.LDP_SESSION_DROP:
+            if record.spec.kind in (
+                FaultKind.LDP_SESSION_DROP,
+                FaultKind.LDP_HIJACK,
+            ):
+                # an accepted hijack recovers exactly like a session
+                # drop: whenever the backoff machinery re-establishes
+                # the torn-down session.  A rejected one never tore
+                # anything down: recovered the moment it was rejected.
+                if (
+                    record.spec.kind is FaultKind.LDP_HIJACK
+                    and self.security is not None
+                ):
+                    attack = self.security.attack(
+                        record.spec.kind.value, record.spec.label
+                    )
+                    if attack is not None and attack.packets_rejected:
+                        record.recovered_at = attack.detected_at
+                        continue
                 want = tuple(sorted(record.spec.target))
                 for when, a, b, _downtime in recovered:
                     if (
@@ -760,7 +1026,19 @@ class FaultInjector:
                     ):
                         record.recovered_at = when
                         break
-            elif record.spec.kind is FaultKind.SIGNALING_STORM:
+            elif record.spec.kind is FaultKind.XCONNECT_LEAK:
+                # quarantine *is* the recovery: the poisoned entry is
+                # out of the table from that audit pass on
+                if self.security is not None:
+                    attack = self.security.attack(
+                        record.spec.kind.value, record.spec.label
+                    )
+                    if attack is not None:
+                        record.recovered_at = attack.mitigated_at
+            elif record.spec.kind in (
+                FaultKind.SIGNALING_STORM,
+                FaultKind.TTL_FLOOD,
+            ):
                 # the storm recovers when every session the flood took
                 # down has come back up
                 target = record.spec.target[0]

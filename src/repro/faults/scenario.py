@@ -81,6 +81,10 @@ class FaultKind(str, Enum):
     LDP_SESSION_DROP = "ldp-session-drop"  #: session reset + backoff
     IB_BITFLIP = "ib-bitflip"        #: SEU in the hardware info base
     SIGNALING_STORM = "signaling-storm"  #: seeded setup/hello flood
+    LABEL_SPOOF = "label-spoof"      #: forged label stacks at an edge
+    LDP_HIJACK = "ldp-hijack"        #: forged LDP shutdown on a session
+    XCONNECT_LEAK = "xconnect-leak"  #: ILM corruption leaking a FEC
+    TTL_FLOOD = "ttl-flood"          #: low-TTL exception-path storm
 
 
 #: kinds whose target is a link (two node names)
@@ -91,6 +95,7 @@ LINK_KINDS = frozenset(
         FaultKind.LINK_LOSS,
         FaultKind.LINK_CORRUPT,
         FaultKind.LDP_SESSION_DROP,
+        FaultKind.LDP_HIJACK,
     }
 )
 
@@ -101,8 +106,83 @@ NODE_KINDS = frozenset(
         FaultKind.NODE_RESTART,
         FaultKind.IB_BITFLIP,
         FaultKind.SIGNALING_STORM,
+        FaultKind.LABEL_SPOOF,
+        FaultKind.XCONNECT_LEAK,
+        FaultKind.TTL_FLOOD,
     }
 )
+
+#: adversarial kinds: require the scenario's ``security`` key so every
+#: attack runs against an armed (or deliberately disarmed) monitor
+SECURITY_KINDS = frozenset(
+    {
+        FaultKind.LABEL_SPOOF,
+        FaultKind.LDP_HIJACK,
+        FaultKind.XCONNECT_LEAK,
+        FaultKind.TTL_FLOOD,
+    }
+)
+
+#: accepted per-kind scenario params (name -> description).  This is
+#: the single validation table: ``FaultSpec.from_dict`` rejects any
+#: key outside it, and ``repro chaos --list-faults`` renders it, so a
+#: misspelled knob (``losss=0.5``) errors instead of silently
+#: vanishing into an ignored params dict.
+FAULT_PARAMS: Dict[FaultKind, Dict[str, str]] = {
+    FaultKind.LINK_DOWN: {},
+    FaultKind.LINK_FLAP: {
+        "flaps": "number of down/up cycles (default 3)",
+        "period": "cycle length in seconds, 50% duty (default 0.05)",
+    },
+    FaultKind.LINK_LOSS: {
+        "rate": "packet loss probability while active (default 0.2)",
+    },
+    FaultKind.LINK_CORRUPT: {
+        "rate": "label bit-error probability while active (default 0.1)",
+    },
+    FaultKind.NODE_CRASH: {},
+    FaultKind.NODE_RESTART: {
+        "hold_time": "RFC 3478 forwarding-state holding timer in "
+                     "seconds after injection (default 0.25)",
+    },
+    FaultKind.LDP_SESSION_DROP: {},
+    FaultKind.IB_BITFLIP: {
+        "level": "info-base level 1..3 to corrupt (default: seeded)",
+        "address": "entry address within the level (default: seeded)",
+        "label_xor": "XOR mask applied to the stored label (default 0)",
+        "index_xor": "XOR mask applied to the stored index (default 0)",
+        "op_xor": "XOR mask applied to the stored opcode (default 0)",
+    },
+    FaultKind.SIGNALING_STORM: {
+        "mappings": "forged label mappings to flood (default 2000)",
+        "hellos": "forged hellos to flood (default 100)",
+        "window": "storm length in seconds when heal_at is omitted "
+                  "(default 0.5)",
+        "setups": "priority LSP setup bursts, frr control (default 20)",
+        "bandwidth_bps": "bandwidth per burst LSP, frr control "
+                         "(default 1e6)",
+    },
+    FaultKind.LABEL_SPOOF: {
+        "packets": "forged labelled packets to inject (default 40)",
+        "window": "injection window in seconds when heal_at is "
+                  "omitted (default 0.5)",
+        "ttl": "TTL carried by the forged stacks (default 64)",
+        "src": "spoofed source address (default 203.0.113.66)",
+    },
+    FaultKind.LDP_HIJACK: {},
+    FaultKind.XCONNECT_LEAK: {
+        "victim": "FEC id whose ILM entry is corrupted (default: "
+                  "first announced FEC at the target)",
+        "imposter": "FEC id whose LSP receives the leaked traffic "
+                    "(default: first FEC with a different egress)",
+    },
+    FaultKind.TTL_FLOOD: {
+        "packets": "TTL=1 packets to inject (default 400)",
+        "window": "flood length in seconds when heal_at is omitted "
+                  "(default 0.5)",
+        "src": "spoofed source address (default 203.0.113.66)",
+    },
+}
 
 
 @dataclass(frozen=True)
@@ -159,6 +239,13 @@ class FaultSpec:
             for k, v in raw.items()
             if k not in ("kind", "at", "target", "heal_at")
         }
+        allowed = FAULT_PARAMS[kind]
+        unknown = sorted(set(params) - set(allowed))
+        if unknown:
+            raise ScenarioError(
+                f"{kind.value}: unknown param(s) {', '.join(unknown)} "
+                f"(accepted: {', '.join(sorted(allowed)) or 'none'})"
+            )
         return cls(
             kind=kind,
             at=float(raw.get("at", 0.0)),
@@ -295,6 +382,11 @@ class Scenario:
     #: "clear", "description"}, ...]}), or None for no alert engine;
     #: requires ``flows`` (the engine evaluates on the collector tick)
     alerts: Optional[Mapping[str, Any]] = None
+    #: adversarial-security configuration (see
+    #: :class:`repro.security.SecurityConfig`), or None to run without
+    #: the monitor; required by the attack fault kinds and gates the
+    #: report's ``security`` section (older reports stay byte-identical)
+    security: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.control not in ("ldp", "ldp-messages", "frr"):
@@ -309,6 +401,20 @@ class Scenario:
             raise ScenarioError(
                 "'alerts' needs 'flows': the alert engine is evaluated "
                 "on the traffic-matrix collector tick"
+            )
+        attack_kinds = {
+            s.kind for s in self.faults if s.kind in SECURITY_KINDS
+        }
+        if self.random_faults is not None:
+            attack_kinds |= {
+                k for k in self.random_faults.kinds if k in SECURITY_KINDS
+            }
+        if attack_kinds and self.security is None:
+            names = ", ".join(sorted(k.value for k in attack_kinds))
+            raise ScenarioError(
+                f"'{names}' faults need a 'security' key: adversarial "
+                "faults are measured against the security monitor's "
+                "guards (set \"enabled\": false to run them unmitigated)"
             )
 
     # -- construction -------------------------------------------------------
@@ -349,6 +455,11 @@ class Scenario:
             ),
             alerts=(
                 dict(raw["alerts"]) if raw.get("alerts") is not None else None
+            ),
+            security=(
+                dict(raw["security"])
+                if raw.get("security") is not None
+                else None
             ),
         )
 
@@ -465,6 +576,10 @@ def _random_schedule(
         kind = rng.choice(sorted(rand.kinds, key=lambda k: k.value))
         if rand.targets is not None:
             target = tuple(rng.choice(rand.targets))
+        elif kind in SECURITY_KINDS:
+            # adversarial kinds need explicit targets: the edge/link
+            # choice is part of the attack, not a random draw
+            continue
         elif kind in LINK_KINDS:
             target = rng.choice(links)
         elif (

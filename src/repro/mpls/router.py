@@ -114,6 +114,11 @@ class LSRNode:
         #: the batched fast path's per-node decision cache, armed by
         #: :meth:`enable_batching` (None = scalar processing)
         self.flow_cache = None
+        #: trust-boundary guard for packets from *outside* the domain
+        #: (RFC 4364 semantics): a callable ``(node_name, packet) ->
+        #: bool`` where True rejects; the security monitor arms this on
+        #: edge LERs.  None = unguarded (the legacy behaviour).
+        self.external_guard = None
 
     # -- batched fast path --------------------------------------------------
     def enable_batching(self, cache_capacity: Optional[int] = None):
@@ -166,6 +171,33 @@ class LSRNode:
         else:
             decision = self.engine.process(packet)
         decision = self._fill_interface(decision)
+        self.stats.record(decision)
+        self.observe(packet, decision)
+        return decision
+
+    def receive_external(
+        self, packet: Union[IPv4Packet, MPLSPacket]
+    ) -> Optional[ForwardingDecision]:
+        """Apply the trust-boundary guard to a packet arriving from
+        outside the MPLS domain.
+
+        Returns the DISCARD decision when the armed guard rejects the
+        packet (a labelled stack not self-originated never crosses the
+        boundary), or None when the packet is admitted -- the caller
+        then runs it through :meth:`receive` like any other arrival.
+        """
+        if self.external_guard is None or not self.external_guard(
+            self.name, packet
+        ):
+            return None
+        decision = ForwardingDecision(
+            Action.DISCARD,
+            reason=(
+                f"{self.name}: spoofed label stack rejected at trust "
+                "boundary"
+            ),
+        )
+        self.stats.received += 1
         self.stats.record(decision)
         self.observe(packet, decision)
         return decision

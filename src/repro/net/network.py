@@ -142,6 +142,11 @@ class MPLSNetwork:
         #: delivered flow aggregates (batched mode only); scalar
         #: deliveries stay in :attr:`deliveries`
         self.aggregate_deliveries: List[Any] = []
+        #: the run's :class:`repro.security.SecurityMonitor` (attached
+        #: by its ``arm()``); with one attached, TTL-expiry discards
+        #: punt exception load to it and :meth:`inject_external` feeds
+        #: the edge trust-boundary guard
+        self.security_monitor: Optional[Any] = None
 
     # -- batched fast path ---------------------------------------------------
     def enable_batching(self, enabled: bool = True) -> None:
@@ -199,6 +204,53 @@ class MPLSNetwork:
     def source_sink(self, ler: str) -> Callable[[IPv4Packet], None]:
         """A sink for traffic generators feeding ``ler``."""
         return lambda packet: self._process(ler, packet)
+
+    def inject_external(
+        self, node: str, packet: Union[IPv4Packet, MPLSPacket]
+    ) -> None:
+        """Hand a packet to a node from *outside* the MPLS domain.
+
+        Unlike :meth:`inject` (trusted, intra-domain), this is the
+        trust boundary of RFC 4364: an edge node with an armed
+        ``external_guard`` rejects labelled packets arriving here,
+        because nothing outside the domain legitimately originates
+        label stacks.  The fault injector uses this entry point for
+        spoofed-label and low-TTL attack traffic.
+        """
+        if node not in self.nodes:
+            raise KeyError(f"unknown node {node!r}")
+        self.scheduler.after(
+            0.0, lambda: self._process_external(node, packet)
+        )
+
+    def _process_external(
+        self, node_name: str, packet: Union[IPv4Packet, MPLSPacket]
+    ) -> None:
+        if node_name in self._down_nodes:
+            self._record_drop(
+                self.scheduler.now,
+                node_name,
+                f"{node_name}: node down",
+                packet,
+            )
+            return
+        decision = self.nodes[node_name].receive_external(packet)
+        if decision is not None:
+            # guard rejection: counted by the node like any discard
+            self.drops.append(
+                Drop(
+                    self.scheduler.now,
+                    node_name,
+                    decision.reason or "unspecified",
+                )
+            )
+            return
+        if self.security_monitor is not None and isinstance(
+            packet, MPLSPacket
+        ):
+            # a forged labelled packet entered the domain unchallenged
+            self.security_monitor.note_spoof_accepted(packet.inner.flow_id)
+        self._process(node_name, packet)
 
     def inject_aggregate(self, node: str, aggregate: Any) -> None:
         """Hand a flow aggregate to a node's data plane (batched mode)."""
@@ -273,6 +325,12 @@ class MPLSNetwork:
             self.drops.append(
                 Drop(now, node_name, decision.reason or "unspecified")
             )
+            if self.security_monitor is not None and "TTL expired" in (
+                decision.reason or ""
+            ):
+                # an expired TTL punts ICMP-style exception work to
+                # the control plane; the monitor rate-limits it
+                self.security_monitor.ttl_exception(node_name, 1)
             return
         if decision.action is Action.DELIVER_LOCAL:
             return
@@ -365,6 +423,13 @@ class MPLSNetwork:
                     count=aggregate.count,
                 )
             )
+            if self.security_monitor is not None and "TTL expired" in (
+                decision.reason or ""
+            ):
+                # count-aware: the whole train punts exception load
+                self.security_monitor.ttl_exception(
+                    node_name, aggregate.count
+                )
             return
         if decision.action is Action.DELIVER_LOCAL:
             return

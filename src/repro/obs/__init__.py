@@ -34,6 +34,8 @@ from repro.obs.events import (
     JSONL_SCHEMA_VERSION,
     AlertCleared,
     AlertRaised,
+    AttackDetected,
+    AttackMitigated,
     AuditCompleted,
     CallbackSink,
     Event,
@@ -97,6 +99,8 @@ __all__ = [
     "AlertEngine",
     "AlertRaised",
     "AlertRule",
+    "AttackDetected",
+    "AttackMitigated",
     "AuditCompleted",
     "CallbackSink",
     "CLOCK_CYCLES",

@@ -254,6 +254,31 @@ class InfoBaseScrubbed(Event):
     cycles: int = 0
 
 
+# -- adversarial security -----------------------------------------------------
+@dataclass
+class AttackDetected(Event):
+    """The security monitor recognized an injected attack (first
+    detection only; per-occurrence counts live in the metric
+    families)."""
+
+    kind: ClassVar[str] = "attack-detected"
+    attack: str = ""  # the FaultKind value, e.g. "label-spoof"
+    node: str = ""
+    detail: str = ""
+
+
+@dataclass
+class AttackMitigated(Event):
+    """A guard neutralized an injected attack (first mitigation only)."""
+
+    kind: ClassVar[str] = "attack-mitigated"
+    attack: str = ""
+    node: str = ""
+    #: guard-reject / auth-reject / quarantine / rate-limit
+    action: str = ""
+    detail: str = ""
+
+
 # -- alerting ----------------------------------------------------------------
 @dataclass
 class AlertRaised(Event):

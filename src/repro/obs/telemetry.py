@@ -279,6 +279,40 @@ class Telemetry:
             "Alert raise/clear transitions, per rule",
             ("rule", "transition"),
         )
+        # -- adversarial security -------------------------------------------
+        # registered unconditionally (like the overload families) so
+        # the scrape schema is stable whether or not a SecurityMonitor
+        # is armed for the run
+        self.attacks_detected = r.counter(
+            "repro_attacks_detected_total",
+            "Injected attacks recognized by the security monitor",
+            ("kind", "target"),
+        )
+        self.attacks_mitigated = r.counter(
+            "repro_attacks_mitigated_total",
+            "Injected attacks neutralized, by mitigating action",
+            ("kind", "action"),
+        )
+        self.spoof_rejections = r.counter(
+            "repro_spoof_guard_rejections_total",
+            "Labelled packets rejected at the LER trust boundary",
+            ("node",),
+        )
+        self.auth_mismatches = r.counter(
+            "repro_ldp_auth_mismatches_total",
+            "LDP messages rejected for a bad session auth token",
+            ("node", "peer"),
+        )
+        self.xconnect_quarantines = r.counter(
+            "repro_xconnect_quarantines_total",
+            "Cross-connected ILM entries quarantined by the audit",
+            ("node",),
+        )
+        self.exception_path = r.counter(
+            "repro_exception_path_packets_total",
+            "TTL-exception punts toward the control plane, by outcome",
+            ("node", "outcome"),
+        )
 
     # -- switch ------------------------------------------------------------
     def enable(self) -> "Telemetry":

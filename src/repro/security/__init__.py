@@ -1,0 +1,32 @@
+"""Adversarial-attack detection and mitigation for the chaos layer.
+
+See :mod:`repro.security.monitor` for the model: seeded MPLS attacks
+(label spoofing, LDP session hijack, VPN cross-connect leaks,
+TTL-expiry floods) measured against the guards this package provides,
+with per-attack time-to-detect and blast-radius accounting surfaced in
+the chaos report's gated ``security`` section.
+"""
+
+from repro.security.monitor import (
+    FORGED_FLOW_BASE,
+    LABEL_SPOOF,
+    LDP_HIJACK,
+    TTL_FLOOD,
+    XCONNECT_LEAK,
+    AttackRecord,
+    ExceptionRateLimiter,
+    SecurityConfig,
+    SecurityMonitor,
+)
+
+__all__ = [
+    "FORGED_FLOW_BASE",
+    "LABEL_SPOOF",
+    "LDP_HIJACK",
+    "TTL_FLOOD",
+    "XCONNECT_LEAK",
+    "AttackRecord",
+    "ExceptionRateLimiter",
+    "SecurityConfig",
+    "SecurityMonitor",
+]

@@ -1,8 +1,15 @@
 """Tests for the ``python -m repro`` CLI."""
 
+import json
+import os
+
 import pytest
 
 from repro.cli import COMMANDS, main
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
 
 
 class TestCLI:
@@ -45,3 +52,53 @@ class TestCLI:
             "throughput",
             "device",
         }
+
+
+class TestChaosCLI:
+    def test_list_faults_enumerates_the_taxonomy(self, capsys):
+        from repro.faults.scenario import FAULT_PARAMS, FaultKind
+
+        assert main(["chaos", "--list-faults"]) == 0
+        out = capsys.readouterr().out
+        for kind in FaultKind:
+            assert kind.value in out
+        # target arity, per-kind params and the adversarial tag all show
+        assert "link (two nodes)" in out
+        assert "node" in out
+        assert "adversarial" in out
+        for params in FAULT_PARAMS.values():
+            for name in params:
+                assert name in out
+        assert "(no params)" in out  # ldp-hijack takes none
+
+    def test_list_faults_needs_no_scenario_file(self, capsys):
+        assert main(["chaos", "--list-faults"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_chaos_without_scenario_fails(self, capsys):
+        assert main(["chaos"]) == 1
+        assert "scenario" in capsys.readouterr().err
+
+    def test_mitigation_flag_overrides_the_scenario(
+        self, tmp_path, capsys
+    ):
+        # trim the example to the spoof attack alone so the CLI round
+        # trip stays fast, then stand the guards down from the flag
+        with open(os.path.join(EXAMPLES_DIR, "chaos_security.json")) as fh:
+            raw = json.load(fh)
+        raw["duration"] = 0.8
+        raw["faults"] = [raw["faults"][0]]
+        path = tmp_path / "spoof.json"
+        path.write_text(json.dumps(raw))
+        assert main(
+            ["chaos", str(path), "--seed", "7", "--mitigation", "off"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["security"]["enabled"] is False
+        assert report["security"]["blast_radius_total"] > 0
+        assert main(
+            ["chaos", str(path), "--seed", "7", "--mitigation", "on"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["security"]["enabled"] is True
+        assert report["security"]["blast_radius_total"] == 0

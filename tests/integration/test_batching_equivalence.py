@@ -41,6 +41,10 @@ CASES = [
     ("chaos_signaling_storm.json", 5),
     ("chaos_flow_alerts.json", 6),
     ("chaos_spans.json", 7),
+    # adversarial suite: quarantine-driven invalidation (the cross-FEC
+    # audit removes a poisoned ILM entry mid-run) plus forged traffic
+    ("chaos_security.json", 7),
+    ("chaos_security.json", 11),
 ]
 
 
@@ -64,6 +68,8 @@ def _run(path, seed, batching):
             if sink is not None:
                 tel.events.remove_sink(sink)
         run.injector.finalize()
+        if run.security is not None:
+            run.security.finalize()
         if run.flows is not None:
             run.flows.finalize()
             run.flows.detach()
