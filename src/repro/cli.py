@@ -16,6 +16,9 @@
 * ``flows``       -- run a scenario with flow accounting armed: top
   talkers, the ingress->egress traffic matrix, alert history, and
   byte-stable ``--export``/``--matrix``/``--prom`` artifacts
+* ``topo``        -- run a scenario with the topology observer armed
+  and query the link-state database: ``show``, ``at <t>``,
+  ``diff <t1> <t2>``, ``health``, with JSON/DOT exports
 * ``bench-report``-- merge the BENCH_*.json benchmark artifacts into
   one summary table
 * ``all``         -- every regeneration command above in sequence
@@ -667,7 +670,7 @@ def cmd_bench_report(results_dir: Optional[str] = None) -> int:
         )
         return 1
     rows = []
-    bad = 0
+    bad = schemaless = 0
     for path in paths:
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -676,6 +679,26 @@ def cmd_bench_report(results_dir: Optional[str] = None) -> int:
             print(f"error: cannot read {path}: {exc}", file=sys.stderr)
             bad += 1
             continue
+        if not isinstance(record, dict):
+            print(
+                f"warning: {path} is not a benchmark record "
+                f"(top-level {type(record).__name__}, expected an "
+                "object); skipping",
+                file=sys.stderr,
+            )
+            schemaless += 1
+            continue
+        missing = [
+            key for key in ("name", "metric", "value")
+            if key not in record
+        ]
+        if missing:
+            print(
+                f"warning: {path} is missing schema keys "
+                f"{', '.join(missing)}; rendering placeholders",
+                file=sys.stderr,
+            )
+            schemaless += 1
         value = record.get("value")
         if isinstance(value, float):
             value = f"{value:g}"
@@ -687,12 +710,237 @@ def cmd_bench_report(results_dir: Optional[str] = None) -> int:
             record.get("units", ""),
             seed if seed is not None else "-",
         ])
+    title = f"Benchmark summary ({len(rows)} records from {directory}"
+    if bad or schemaless:
+        title += f"; {bad} unreadable, {schemaless} schema-less"
+    title += ")"
     print(render_table(
         ["benchmark", "metric", "value", "units", "seed"],
         rows,
-        title=f"Benchmark summary ({len(rows)} records from {directory})",
+        title=title,
     ))
+    if bad or schemaless:
+        print(
+            f"bench-report: {bad} unreadable and {schemaless} "
+            "schema-less artifacts (see warnings above)",
+            file=sys.stderr,
+        )
     return 1 if bad else 0
+
+
+def _render_topo_view(view) -> str:
+    """A human summary of one TopologyView (deterministic text)."""
+    d = view.data
+    health = view.health()
+    lines = [
+        f"topology @ t={view.time:g}  "
+        f"(overall health {health['overall']:g})",
+        "",
+    ]
+    lines.append("nodes:")
+    for name in sorted(d["nodes"]):
+        lines.append(f"  {name:10s} {d['nodes'][name]}")
+    lines.append("links:")
+    for key in sorted(d["links"]):
+        a, b = key.split("|")
+        busy = max(
+            d["utilization"].get(f"{a}>{b}", 0.0),
+            d["utilization"].get(f"{b}>{a}", 0.0),
+        )
+        util = f"  util {busy * 100:.0f}%" if busy else ""
+        lines.append(f"  {a} -- {b}: {d['links'][key]}{util}")
+    ups = sum(1 for s in d["adjacencies"].values() if s == "up")
+    if d["adjacencies"]:
+        lines.append(
+            f"ldp adjacencies: {ups}/{len(d['adjacencies'])} up"
+        )
+    if d["fecs"]:
+        lines.append("fecs:")
+        for fec_id in sorted(d["fecs"]):
+            lines.append(
+                f"  {fec_id}: bindings at "
+                f"{len(d['fecs'][fec_id])} routers"
+            )
+    if d["lsps"]:
+        lines.append("lsps:")
+        for name in sorted(d["lsps"]):
+            entry = d["lsps"][name]
+            active = d["frr"].get(name)
+            frr = f"  (frr: {active})" if active else ""
+            lines.append(
+                f"  {name}: {entry['state']}  route "
+                f"{entry['route'] or '-'}{frr}"
+            )
+    if d["faults"]:
+        lines.append("active faults:")
+        for key in sorted(d["faults"]):
+            lines.append(f"  {key}  since t={d['faults'][key]:g}")
+    if d["attacks"]:
+        lines.append("attacks:")
+        for key in sorted(d["attacks"]):
+            lines.append(f"  {key}: {d['attacks'][key]}")
+    return "\n".join(lines)
+
+
+def cmd_topo(
+    scenario_path: str,
+    action: str = "show",
+    times: Optional[List[float]] = None,
+    seed: int = 0,
+    batching: Optional[str] = None,
+    export: Optional[str] = None,
+    dot: Optional[str] = None,
+) -> int:
+    """Run a scenario with the topology observer armed and query the
+    resulting link-state database.
+
+    ``show`` renders the end-of-run view; ``at <t>`` reconstructs the
+    view at time ``t`` from snapshot + deltas (byte-identical to the
+    live view the observer held); ``diff <t1> <t2>`` lists the leaf
+    changes between two instants; ``health`` prints the derived
+    per-object scores.  ``--export`` writes the queried view as JSON
+    and ``--dot`` as Graphviz -- both byte-stable for a seeded run
+    (the CI topo-smoke step compares two runs with ``cmp``).
+    """
+    from repro.faults import Scenario, ScenarioError, run_scenario
+    from repro.obs import telemetry_session
+
+    times = times or []
+    try:
+        scenario = Scenario.load(scenario_path)
+    except OSError as exc:
+        print(f"error: cannot read {scenario_path}: {exc}", file=sys.stderr)
+        return 1
+    except ScenarioError as exc:
+        print(f"error: bad scenario: {exc}", file=sys.stderr)
+        return 1
+    if scenario.topo is None:
+        # the observer is the point of this command: force it on even
+        # when the scenario file has no 'topo' key
+        scenario.topo = {}
+    try:
+        with telemetry_session():
+            report = run_scenario(
+                scenario, seed=seed, batching=(batching == "on")
+            )
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    observer = report.topo
+    if observer is None:
+        print("error: topology observer did not arm", file=sys.stderr)
+        return 1
+
+    if action == "at":
+        if len(times) != 1:
+            print("error: 'at' needs exactly one time", file=sys.stderr)
+            return 1
+        view = observer.at(times[0])
+        sys.stdout.write(view.to_json())
+    elif action == "diff":
+        if len(times) != 2:
+            print("error: 'diff' needs two times", file=sys.stderr)
+            return 1
+        before, after = observer.at(times[0]), observer.at(times[1])
+        changes = before.diff(after)
+        for change in changes:
+            print(
+                f"{change['path']}: {change['before']!r} -> "
+                f"{change['after']!r}"
+            )
+        print(
+            f"topo: {len(changes)} changes between t={times[0]:g} "
+            f"and t={times[1]:g}",
+            file=sys.stderr,
+        )
+        view = after
+    elif action == "health":
+        import json
+
+        view = observer.live_view()
+        print(json.dumps(view.health(), sort_keys=True, indent=2))
+    else:  # show
+        view = observer.live_view()
+        print(_render_topo_view(view))
+    if export:
+        if not _write_output(
+            export, lambda handle: handle.write(view.to_json())
+        ):
+            return 1
+        print(f"topo: view -> {export}", file=sys.stderr)
+    if dot:
+        if not _write_output(
+            dot, lambda handle: handle.write(view.to_dot())
+        ):
+            return 1
+        print(f"topo: DOT graph -> {dot}", file=sys.stderr)
+    mismatches = observer.mismatches
+    if mismatches:
+        print(
+            f"topo: differential verification FAILED "
+            f"({len(mismatches)} mismatches)",
+            file=sys.stderr,
+        )
+        for problem in mismatches[:10]:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _topo_main(argv: List[str]) -> int:
+    """The dedicated ``repro topo`` argument parser (its positional
+    sub-action and times clash with the main parser's shape)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro topo",
+        description="Query the telemetry-fed topology observatory.",
+    )
+    parser.add_argument(
+        "scenario",
+        help="path to a JSON fault scenario (the 'topo' key is forced "
+        "on; see examples/chaos_topo.json)",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        choices=["show", "at", "diff", "health"],
+        default="show",
+        help="show the end-of-run view (default), reconstruct the "
+        "view 'at' a time, 'diff' two instants, or print the derived "
+        "'health' scores",
+    )
+    parser.add_argument(
+        "times",
+        nargs="*",
+        type=float,
+        help="timestamps for 'at' (one) and 'diff' (two)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the randomized fault schedule (default 0)",
+    )
+    parser.add_argument(
+        "--batching", choices=["on", "off"], default=None,
+        help="run the data plane on the batched fast path; the "
+        "observed database is identical to the scalar run",
+    )
+    parser.add_argument(
+        "--export", metavar="FILE", default=None,
+        help="write the queried view as JSON (byte-stable)",
+    )
+    parser.add_argument(
+        "--dot", metavar="FILE", default=None,
+        help="write the queried view as a Graphviz graph",
+    )
+    args = parser.parse_args(argv)
+    return cmd_topo(
+        args.scenario,
+        action=args.action,
+        times=args.times,
+        seed=args.seed,
+        batching=args.batching,
+        export=args.export,
+        dot=args.dot,
+    )
 
 
 COMMANDS: Dict[str, Callable[[], int]] = {
@@ -706,6 +954,12 @@ COMMANDS: Dict[str, Callable[[], int]] = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "topo":
+        # 'topo' takes its own positional action + timestamps, which
+        # the shared parser below cannot express
+        return _topo_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's results.",
@@ -714,13 +968,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "command",
         choices=[
             *COMMANDS, "all", "stats", "trace", "chaos", "spans",
-            "flows", "bench-report",
+            "flows", "topo", "bench-report",
         ],
         help="which result to regenerate (or: stats / trace for the "
         "telemetry views, chaos to run a fault scenario, spans to "
         "trace one at span granularity, flows for flow accounting / "
-        "traffic matrix / alerts, bench-report to merge the "
-        "BENCH_*.json benchmark artifacts)",
+        "traffic matrix / alerts, topo to query the topology "
+        "observatory ('topo --help' for its sub-actions), "
+        "bench-report to merge the BENCH_*.json benchmark artifacts)",
     )
     parser.add_argument(
         "scenario",

@@ -28,7 +28,7 @@ from repro.mpls.nhlfe import NHLFE
 from repro.mpls.router import LSRNode
 from repro.mpls.transaction import TableTransaction
 from repro.net.topology import Topology
-from repro.obs.events import LabelMappingInstalled
+from repro.obs.events import LabelMappingInstalled, LabelMappingWithdrawn
 from repro.obs.telemetry import get_telemetry
 
 
@@ -203,6 +203,16 @@ class LDPProcess:
                 self.allocators[name].release(label)
         self.bindings.remove(binding)
         tel = get_telemetry()
+        if tel.enabled and tel.topo is not None:
+            # the negative edge of the binding lifecycle, wanted only
+            # by the topology observer (gated so event-count sections
+            # of pre-existing reports stay byte-identical)
+            for name, label in sorted(binding.labels.items()):
+                tel.events.emit(
+                    LabelMappingWithdrawn(
+                        node=name, fec_id=str(binding.fec), label=label
+                    )
+                )
         if tel.enabled and tel.flows is not None:
             # the FEC's forwarding state is gone: finish the flow
             # records still accounted to it

@@ -49,6 +49,7 @@ from repro.net.topology import Topology
 from repro.obs.events import (
     ControlMessageShed,
     LabelMappingInstalled,
+    LabelMappingWithdrawn,
     SessionStateChange,
 )
 from repro.obs.telemetry import get_telemetry
@@ -207,6 +208,18 @@ class LDPSpeaker:
             event.time = self.process.scheduler.now
             tel.events.emit(event)
 
+    def _note_withdraw(self, fec_id: str, label: int) -> None:
+        """Telemetry: this router just withdrew its binding for a FEC.
+        Emitted only while a topology observer is attached (gated so
+        pre-existing event-count reports stay byte-identical)."""
+        tel = get_telemetry()
+        if tel.enabled and tel.topo is not None:
+            event = LabelMappingWithdrawn(
+                node=self.name, fec_id=fec_id, label=label
+            )
+            event.time = self.process.scheduler.now
+            tel.events.emit(event)
+
     def _advertise(self, fec_id: str, only_to: Optional[str] = None) -> None:
         label = self.local_labels[fec_id]
         peers = [only_to] if only_to else sorted(self.sessions)
@@ -319,6 +332,7 @@ class LDPSpeaker:
         self.allocator.release(label)
         state.advertised.pop(self.name, None)
         state.installed_at.pop(self.name, None)
+        self._note_withdraw(fec_id, label)
         for peer in sorted(self.sessions):
             if peer != exclude:
                 self.process.send(
@@ -876,6 +890,11 @@ class MessageLDPProcess:
             if label in egress.node.ilm:
                 egress.node.ilm.remove(label)
             egress.allocator.release(label)
+            # the egress's advertisement is gone with its binding
+            # (previously left behind, leaving FECState.advertised
+            # claiming a label the allocator had already reclaimed)
+            state.advertised.pop(state.egress, None)
+            egress._note_withdraw(fec_id, label)
         state.installed_at.pop(state.egress, None)
         for peer in sorted(egress.sessions):
             self.send(

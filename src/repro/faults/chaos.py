@@ -83,6 +83,9 @@ class ChaosRun:
     #: the armed SecurityMonitor when the scenario carries a
     #: ``security`` key
     security: Any = None
+    #: the armed TopologyObserver when the scenario carries a ``topo``
+    #: key (and telemetry is on)
+    topo: Any = None
 
 
 def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
@@ -99,6 +102,20 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         network = MPLSNetwork(topology, roles=roles)
     for flow in scenario.traffic:
         network.attach_host(flow.egress, flow.prefix)
+
+    topo_observer = None
+    if scenario.topo is not None and get_telemetry().enabled:
+        from repro.obs.topo import TopologyObserver
+
+        # armed before the control plane exists so the initial label
+        # distribution (and everything after) lands in the database
+        topo_observer = TopologyObserver(
+            topology,
+            snapshot_every=int(
+                dict(scenario.topo).get("snapshot_every", 64)
+            ),
+        )
+        topo_observer.attach()
 
     overload_cfg = None
     if scenario.overload is not None:
@@ -343,6 +360,7 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         collector=collector,
         alert_engine=alert_engine,
         security=security,
+        topo=topo_observer,
     )
 
 
@@ -360,6 +378,9 @@ class ChaosReport:
     flows: Any = None
     collector: Any = None
     alert_engine: Any = None
+    #: The run's TopologyObserver when the scenario carried a ``topo``
+    #: key, for time-travel queries and export; not part of the JSON.
+    topo: Any = None
 
     def to_json(self) -> str:
         return json.dumps(self.data, sort_keys=True, indent=2) + "\n"
@@ -422,7 +443,14 @@ def run_scenario(
     if run.flows is not None:
         run.flows.finalize()
         run.flows.detach()
-    return summarize(run, processed, sink, recorder=recorder)
+    if run.topo is not None:
+        # verify the observed database against ground truth and
+        # publish the health/convergence metrics before summarizing
+        run.topo.finalize(run)
+    report = summarize(run, processed, sink, recorder=recorder)
+    if run.topo is not None:
+        run.topo.detach()
+    return report
 
 
 def _overload_section(run: ChaosRun) -> Dict[str, Any]:
@@ -704,6 +732,17 @@ def summarize(
             report["alerts"] = run.alert_engine.summary()
     if run.scenario.security is not None and run.security is not None:
         report["security"] = _security_section(run)
+    if run.scenario.topo is not None and run.topo is not None:
+        conv = run.topo.convergence()
+        report["convergence"] = {
+            "initial": conv["initial"],
+            "disruptions": conv["disruptions"],
+            "deltas": conv["deltas"],
+            "snapshots": conv["snapshots"],
+            "final_health": run.topo.live_view().health()["overall"],
+            "verified": run.topo.verified,
+            "mismatches": run.topo.mismatches,
+        }
     if injector.restarts:
         restarts = []
         for restart in injector.restarts:
@@ -830,4 +869,5 @@ def summarize(
         flows=run.flows,
         collector=run.collector,
         alert_engine=run.alert_engine,
+        topo=run.topo,
     )

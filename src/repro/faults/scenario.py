@@ -387,6 +387,10 @@ class Scenario:
     #: the monitor; required by the attack fault kinds and gates the
     #: report's ``security`` section (older reports stay byte-identical)
     security: Optional[Mapping[str, Any]] = None
+    #: topology-observatory configuration ({"snapshot_every": n}), or
+    #: None to run without the observer; gates the report's
+    #: ``convergence`` section (older reports stay byte-identical)
+    topo: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.control not in ("ldp", "ldp-messages", "frr"):
@@ -460,6 +464,9 @@ class Scenario:
                 dict(raw["security"])
                 if raw.get("security") is not None
                 else None
+            ),
+            topo=(
+                dict(raw["topo"]) if raw.get("topo") is not None else None
             ),
         )
 

@@ -49,6 +49,7 @@ from repro.obs.events import (
     InfoBaseScrubbed,
     JSONLSink,
     LabelMappingInstalled,
+    LabelMappingWithdrawn,
     LabelOpApplied,
     ListSink,
     LSPEvent,
@@ -93,6 +94,7 @@ from repro.obs.telemetry import (
     set_telemetry,
     telemetry_session,
 )
+from repro.obs.topo import TopologyObserver, TopologyView
 
 __all__ = [
     "AlertCleared",
@@ -124,6 +126,7 @@ __all__ = [
     "JSONL_SCHEMA_VERSION",
     "JSONLSink",
     "LabelMappingInstalled",
+    "LabelMappingWithdrawn",
     "LabelOpApplied",
     "ListSink",
     "LSPEvent",
@@ -140,6 +143,8 @@ __all__ = [
     "SpanRecorder",
     "StaleEntriesFlushed",
     "Telemetry",
+    "TopologyObserver",
+    "TopologyView",
     "Trace",
     "TrafficMatrix",
     "export_chrome_trace",

@@ -151,6 +151,21 @@ class LabelMappingInstalled(Event):
 
 
 @dataclass
+class LabelMappingWithdrawn(Event):
+    """A node withdrew forwarding state for a FEC (the inverse of
+    :class:`LabelMappingInstalled`).  Emitted only while a
+    :class:`~repro.obs.topo.TopologyObserver` is attached -- the
+    topology database needs the negative edge of the binding
+    lifecycle, and gating it keeps pre-existing event-count reports
+    byte-identical."""
+
+    kind: ClassVar[str] = "label-mapping-withdrawn"
+    node: str = ""
+    fec_id: str = ""
+    label: int = 0
+
+
+@dataclass
 class LSPEvent(Event):
     """An RSVP-TE LSP lifecycle event (signalled, torn down, expired,
     FRR switchover/revert)."""

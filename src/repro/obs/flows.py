@@ -598,6 +598,10 @@ class MatrixCollector:
         tel.matrix_snapshots.inc()
         for (src, dst), util in utilization.items():
             tel.link_utilization.labels(src, dst).set(util)
+        if tel.topo is not None:
+            # mirror the gauges into the topology observer's view so
+            # time-travel queries see per-link utilization too
+            tel.topo.record_utilization(now, utilization)
         if self.alerts is not None:
             self.alerts.evaluate(now, matrix=matrix)
         next_at = now + self.period

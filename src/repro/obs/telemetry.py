@@ -46,6 +46,11 @@ class Telemetry:
         #: ``enabled`` guards, so with accounting off the hot path pays
         #: nothing beyond the tests it already ran.
         self.flows = None
+        #: The attached :class:`~repro.obs.topo.TopologyObserver`, or
+        #: None.  Control-plane withdraw sites and the traffic-matrix
+        #: collector consult this inside their existing ``enabled``
+        #: guards; with no observer attached nothing extra is emitted.
+        self.topo = None
         self._register_core_families()
 
     # -- core metric families ----------------------------------------------
@@ -313,6 +318,26 @@ class Telemetry:
             "TTL-exception punts toward the control plane, by outcome",
             ("node", "outcome"),
         )
+        # -- topology observatory -------------------------------------------
+        # registered unconditionally so the scrape schema is stable
+        # whether or not a TopologyObserver is attached for the run
+        self.topo_deltas = r.counter(
+            "repro_topo_deltas_total",
+            "Versioned state deltas recorded by the topology observer",
+        )
+        self.topo_snapshots = r.counter(
+            "repro_topo_snapshots_total",
+            "Full topology snapshots taken between delta runs",
+        )
+        self.topo_health = r.gauge(
+            "repro_topo_health",
+            "Overall derived network health score in [0, 1]",
+        )
+        self.topo_convergence = r.histogram(
+            "repro_topo_convergence_seconds",
+            "Time from disruption to last dependent state change",
+            ("kind",),
+        )
 
     # -- switch ------------------------------------------------------------
     def enable(self) -> "Telemetry":
@@ -331,6 +356,7 @@ class Telemetry:
         self.events = EventLog()
         self.spans = None
         self.flows = None
+        self.topo = None
         self._register_core_families()
 
 

@@ -102,3 +102,140 @@ class TestChaosCLI:
         report = json.loads(capsys.readouterr().out)
         assert report["security"]["enabled"] is True
         assert report["security"]["blast_radius_total"] == 0
+
+
+class TestTopoCLI:
+    """``repro topo`` — the topology-observatory query command."""
+
+    SCENARIO = os.path.join(EXAMPLES_DIR, "chaos_smoke.json")
+
+    def test_show_renders_the_live_view(self, capsys):
+        assert main(["topo", self.SCENARIO]) == 0
+        out = capsys.readouterr().out
+        assert "topology @ t=" in out
+        assert "nodes:" in out
+        assert "links:" in out
+        assert "ler-a" in out
+
+    def test_health_emits_scored_json(self, capsys):
+        assert main(["topo", self.SCENARIO, "health"]) == 0
+        scores = json.loads(capsys.readouterr().out)
+        assert 0.0 <= scores["overall"] <= 1.0
+        for section in ("nodes", "links"):
+            assert scores[section]
+
+    def test_at_reconstruction_matches_the_live_export(
+        self, tmp_path, capsys
+    ):
+        live = tmp_path / "live.json"
+        replayed = tmp_path / "replayed.json"
+        assert main(
+            ["topo", self.SCENARIO, "--export", str(live)]
+        ) == 0
+        capsys.readouterr()
+        # a time past the end of the run reconstructs the final view
+        assert main(
+            ["topo", self.SCENARIO, "at", "999", "--export",
+             str(replayed)]
+        ) == 0
+        capsys.readouterr()
+        assert live.read_bytes() == replayed.read_bytes()
+
+    def test_diff_lists_leaf_changes(self, capsys):
+        # straddle the 0.2-0.45 link outage: the link state, the fault
+        # ledger and the rerouted next-hops all change
+        assert main(["topo", self.SCENARIO, "diff", "0.1", "0.3"]) == 0
+        captured = capsys.readouterr()
+        assert "changes between t=0.1 and t=0.3" in captured.err
+        assert "links.lsr-1|lsr-2: 'up' -> 'down'" in captured.out
+
+    def test_export_is_byte_stable_across_runs(self, tmp_path, capsys):
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        for target in (first, second):
+            assert main(
+                ["topo", self.SCENARIO, "--seed", "5",
+                 "--export", str(target)]
+            ) == 0
+            capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_dot_export_is_valid_graphviz(self, tmp_path, capsys):
+        dot = tmp_path / "topo.dot"
+        assert main(
+            ["topo", self.SCENARIO, "--dot", str(dot)]
+        ) == 0
+        text = dot.read_text()
+        assert text.startswith("graph topology {")
+        assert text.rstrip().endswith("}")
+        assert "ler-a" in text
+
+    def test_at_requires_exactly_one_time(self, capsys):
+        assert main(["topo", self.SCENARIO, "at"]) == 1
+        assert "exactly one time" in capsys.readouterr().err
+
+
+class TestBenchReportCLI:
+    """``repro bench-report`` — including the malformed-artifact
+    accounting (silent skips became counted warnings)."""
+
+    @staticmethod
+    def _write(directory, name, payload):
+        path = directory / f"BENCH_{name}.json"
+        path.write_text(payload)
+        return path
+
+    def test_clean_artifacts_render_without_a_warning_suffix(
+        self, tmp_path, capsys
+    ):
+        self._write(tmp_path, "fwd", json.dumps({
+            "name": "fwd", "metric": "throughput", "value": 1.5,
+            "units": "Mpps", "seed": 0,
+        }))
+        assert main(["bench-report", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert f"(1 records from {tmp_path})" in captured.out
+        assert "unreadable" not in captured.out
+        assert captured.err == ""
+
+    def test_unreadable_artifact_warns_counts_and_fails(
+        self, tmp_path, capsys
+    ):
+        self._write(tmp_path, "ok", json.dumps({
+            "name": "ok", "metric": "m", "value": 1,
+        }))
+        self._write(tmp_path, "broken", "{not json")
+        assert main(["bench-report", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "cannot read" in captured.err
+        assert "1 unreadable, 0 schema-less" in captured.out
+        assert "1 unreadable and 0 schema-less" in captured.err
+
+    def test_non_object_artifact_is_counted_not_silently_skipped(
+        self, tmp_path, capsys
+    ):
+        self._write(tmp_path, "list", json.dumps([1, 2, 3]))
+        self._write(tmp_path, "ok", json.dumps({
+            "name": "ok", "metric": "m", "value": 1,
+        }))
+        assert main(["bench-report", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "not a benchmark record" in captured.err
+        assert "0 unreadable, 1 schema-less" in captured.out
+        # the good record still renders
+        assert "ok" in captured.out
+
+    def test_missing_schema_keys_render_placeholders_and_warn(
+        self, tmp_path, capsys
+    ):
+        self._write(tmp_path, "partial", json.dumps({"value": 2}))
+        assert main(["bench-report", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "missing schema keys name, metric" in captured.err
+        assert "0 unreadable, 1 schema-less" in captured.out
+        # the record renders with its filename as the fallback name
+        assert "BENCH_partial.json" in captured.out
+
+    def test_empty_directory_still_errors(self, tmp_path, capsys):
+        assert main(["bench-report", str(tmp_path)]) == 1
+        assert "no BENCH_*.json" in capsys.readouterr().err

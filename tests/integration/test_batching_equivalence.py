@@ -45,6 +45,9 @@ CASES = [
     # audit removes a poisoned ILM entry mid-run) plus forged traffic
     ("chaos_security.json", 7),
     ("chaos_security.json", 11),
+    # topology observatory armed: the convergence ledger is derived
+    # from the event stream, so it must match across modes too
+    ("chaos_topo.json", 17),
 ]
 
 

@@ -1,0 +1,93 @@
+"""Lint: every metric family used anywhere under ``src/repro`` must be
+pre-registered by ``Telemetry._register_core_families``.
+
+The invariant (PRs 5, 6 and 8 each re-established it by hand): hot
+paths only ever pay ``.labels()`` child lookups, never family
+creation, and the Prometheus scrape schema is identical whether or not
+a subsystem armed during the run -- which also means a family must
+exist even on a ``Telemetry(enabled=False)`` instance.
+
+This test walks the source tree for the ``<telemetry>.<family>.<verb>``
+idiom and asserts each discovered attribute resolves to a registered
+:class:`~repro.obs.metrics.MetricFamily` on a fresh disabled instance.
+"""
+
+import os
+import re
+
+from repro.obs.metrics import MetricFamily
+from repro.obs.telemetry import Telemetry
+
+SRC_ROOT = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "src", "repro"
+)
+
+#: ``tel.packets.labels(...)``, ``telemetry.hw_cycles.inc()``,
+#: ``get_telemetry().drops.labels(...)`` and the ``self.telemetry.``
+#: spelling -- any attribute a metric verb is called on.
+_USAGE = re.compile(
+    r"(?:\btel\b|\btelemetry\b|get_telemetry\(\))"
+    r"\.([a-z_][a-z0-9_]*)\.(?:labels|inc|dec|set|observe)\("
+)
+
+#: Telemetry attributes that are not metric families.
+_NON_METRIC_ATTRS = frozenset(
+    {"enabled", "registry", "events", "spans", "flows", "topo"}
+)
+
+
+def _walk_usages():
+    usages = {}
+    for dirpath, _dirnames, filenames in os.walk(SRC_ROOT):
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            for match in _USAGE.finditer(text):
+                attr = match.group(1)
+                if attr not in _NON_METRIC_ATTRS:
+                    usages.setdefault(attr, set()).add(
+                        os.path.relpath(path, SRC_ROOT)
+                    )
+    return usages
+
+
+def test_source_scan_finds_the_known_families():
+    usages = _walk_usages()
+    # sanity: the scan must actually see the tree (a broken regex or
+    # path would vacuously pass the lint below)
+    for expected in (
+        "packets", "drops", "link_utilization", "hw_cycles",
+        "attacks_detected", "topo_deltas",
+    ):
+        assert expected in usages, f"scan lost track of {expected}"
+    assert len(usages) > 30
+
+
+def test_every_emitted_family_is_registered_even_when_disabled():
+    telemetry = Telemetry(enabled=False)
+    problems = []
+    for attr, files in sorted(_walk_usages().items()):
+        family = getattr(telemetry, attr, None)
+        if not isinstance(family, MetricFamily):
+            problems.append(
+                f"{attr} (used in {', '.join(sorted(files))}) is not a "
+                "registered MetricFamily on Telemetry(enabled=False)"
+            )
+            continue
+        if telemetry.registry.get(family.name) is not family:
+            problems.append(
+                f"{attr} -> {family.name} is not in the registry"
+            )
+    assert not problems, "\n".join(problems)
+
+
+def test_registry_schema_is_identical_enabled_or_disabled():
+    on = Telemetry(enabled=True).registry
+    off = Telemetry(enabled=False).registry
+    schema = lambda reg: [  # noqa: E731
+        (f.name, f.kind, f.labelnames) for f in reg.collect()
+    ]
+    assert schema(on) == schema(off)
