@@ -1,0 +1,82 @@
+"""Centralized-controller failover vs pure-distributed reconvergence.
+
+Runs the bundled PCE failover scenario (controller crash at 0.2s,
+warm restart at 0.5s, plus a per-node partition) and reports the two
+headline robustness numbers:
+
+* **time to failover** -- how long after the crash the orphaned nodes
+  detect controller-liveness loss (hold-timer expiry) and complete the
+  graceful delegation back to distributed control;
+* **time to readopt** -- how long after the warm restart the slowest
+  node is re-adopted through the seeded-backoff resync path (read-back
+  + one atomic table transaction).
+
+For scale, the same topology's pure-distributed recovery from a plain
+link outage (mean MTTR of the smoke scenario's link faults) rides
+along -- the comparison the centralized-vs-distributed trade-off
+hinges on.  All three numbers are simulated-time metrics of seeded
+runs, so they are deterministic; the headline lands in
+``BENCH_controller_failover.json``.
+"""
+
+import os
+
+from benchmarks._util import emit, emit_json
+from repro.faults import Scenario, run_scenario
+from repro.obs import telemetry_session
+
+SEED = 7
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _controller_times():
+    scenario = Scenario.load(
+        os.path.join(EXAMPLES, "chaos_controller.json")
+    )
+    with telemetry_session():
+        report = run_scenario(scenario, seed=SEED)
+    ctl = report["controller"]
+    assert ctl["fecs_blackholed"] == 0, ctl["blackholed_fecs"]
+    return ctl["time_to_failover_s"], ctl["time_to_readopt_s"]
+
+
+def _distributed_mttr():
+    scenario = Scenario.load(os.path.join(EXAMPLES, "chaos_smoke.json"))
+    with telemetry_session():
+        report = run_scenario(scenario, seed=SEED)
+    return report["recovery"]["mean_mttr_s"]
+
+
+def test_controller_failover(benchmark):
+    def run():
+        failover_s, readopt_s = _controller_times()
+        return failover_s, readopt_s, _distributed_mttr()
+
+    failover_s, readopt_s, distributed_s = benchmark.pedantic(
+        run, iterations=1, rounds=2
+    )
+    assert failover_s is not None and readopt_s is not None
+
+    lines = [
+        "Controller failover vs distributed reconvergence (seed %d)"
+        % SEED,
+        "",
+        "  time to failover (crash -> delegation)   %7.1f ms"
+        % (failover_s * 1e3),
+        "  time to readopt (restart -> resynced)    %7.1f ms"
+        % (readopt_s * 1e3),
+        "  distributed link-outage mean MTTR        %7.1f ms"
+        % (distributed_s * 1e3),
+        "",
+        "  blackholed FECs with delegation: 0 (asserted)",
+    ]
+    emit("controller_failover", "\n".join(lines))
+    emit_json(
+        "controller_failover",
+        "time_to_failover",
+        round(failover_s * 1e3, 3),
+        "ms",
+        seed=SEED,
+        time_to_readopt_ms=round(readopt_s * 1e3, 3),
+        distributed_reconvergence_ms=round(distributed_s * 1e3, 3),
+    )

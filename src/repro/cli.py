@@ -447,6 +447,7 @@ def _render_fault_kinds() -> str:
     params, straight from the validation table -- what ``from_dict``
     accepts is exactly what this prints."""
     from repro.faults.scenario import (
+        CONTROLLER_KINDS,
         FAULT_PARAMS,
         LINK_KINDS,
         SECURITY_KINDS,
@@ -454,14 +455,18 @@ def _render_fault_kinds() -> str:
 
     lines = []
     for kind, params in FAULT_PARAMS.items():
-        arity = (
-            "link (two nodes)" if kind in LINK_KINDS else "node"
-        )
-        tag = (
-            "  [adversarial: needs a 'security' key]"
-            if kind in SECURITY_KINDS
-            else ""
-        )
+        if kind.value == "controller-crash":
+            arity = 'the literal "controller"'
+        elif kind in LINK_KINDS:
+            arity = "link (two nodes)"
+        else:
+            arity = "node"
+        if kind in SECURITY_KINDS:
+            tag = "  [adversarial: needs a 'security' key]"
+        elif kind in CONTROLLER_KINDS:
+            tag = "  [controller: needs a 'controller' key]"
+        else:
+            tag = ""
         lines.append(f"{kind.value} -- target: {arity}{tag}")
         if params:
             for name in sorted(params):
@@ -479,6 +484,7 @@ def cmd_chaos(
     overload: Optional[str] = None,
     batching: Optional[str] = None,
     mitigation: Optional[str] = None,
+    controller: Optional[str] = None,
     list_faults: bool = False,
 ) -> int:
     """Run a fault-injection scenario file and print its report.
@@ -523,6 +529,13 @@ def cmd_chaos(
         scenario.security = {
             **(scenario.security or {}),
             "enabled": mitigation == "on",
+        }
+    if controller is not None:
+        # arm the centralized PCE (or run it dark for the distributed
+        # baseline) regardless of the scenario's own key
+        scenario.controller = {
+            **(scenario.controller or {}),
+            "enabled": controller == "on",
         }
     try:
         with telemetry_session():
@@ -1034,6 +1047,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "the scenario's own 'security.enabled' key)",
     )
     parser.add_argument(
+        "--controller",
+        choices=["on", "off"],
+        default=None,
+        help="chaos only: arm the centralized PCE controller, or run "
+        "it dark for the pure-distributed baseline (overrides the "
+        "scenario's own 'controller.enabled' key)",
+    )
+    parser.add_argument(
         "--list-faults",
         action="store_true",
         help="chaos only: enumerate the fault kinds, their target "
@@ -1119,6 +1140,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             overload=args.overload,
             batching=args.batching,
             mitigation=args.mitigation,
+            controller=args.controller,
             list_faults=args.list_faults,
         )
     if args.command == "flows":

@@ -99,3 +99,75 @@ def cspf_path(
     while path[-1] != source:
         path.append(prev[path[-1]])
     return list(reversed(path))
+
+
+def cspf_over_view(
+    view_data: Dict[str, object],
+    source: str,
+    destination: str,
+    avoid_nodes: Optional[Set[str]] = None,
+) -> List[str]:
+    """Shortest path over an **observed** topology view.
+
+    This is the PCE's planning input: ``view_data`` is the plain-dict
+    payload of :class:`~repro.obs.topo.TopologyView` (``nodes`` ->
+    state, ``links`` keyed ``"a|b"`` -> ``"up"``/``"degraded"``/
+    ``"down"``).  Down links and down nodes are pruned; degraded links
+    still forward.  Hop count is the metric (the view carries no
+    per-link metrics), with sorted-neighbor tie-breaking so the same
+    view always yields the same path.
+
+    Raises :class:`CSPFError` when the view shows no usable path.
+    """
+    avoid = avoid_nodes or set()
+    nodes: Dict[str, str] = dict(view_data.get("nodes", {}))  # type: ignore[arg-type]
+    links: Dict[str, str] = dict(view_data.get("links", {}))  # type: ignore[arg-type]
+
+    def node_up(name: str) -> bool:
+        return nodes.get(name, "down") != "down" and name not in avoid
+
+    if not node_up(source) or not node_up(destination):
+        raise CSPFError(
+            f"{source} -> {destination}: endpoint down in the view"
+        )
+
+    adjacency: Dict[str, List[str]] = {}
+    for key, state in links.items():
+        if state == "down":
+            continue
+        a, b = key.split("|")
+        if not (node_up(a) and node_up(b)):
+            continue
+        adjacency.setdefault(a, []).append(b)
+        adjacency.setdefault(b, []).append(a)
+    for neighbors in adjacency.values():
+        neighbors.sort()
+
+    dist: Dict[str, int] = {source: 0}
+    prev: Dict[str, str] = {}
+    visited: Set[str] = set()
+    heap: List[Tuple[int, str]] = [(0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == destination:
+            break
+        for neighbor in adjacency.get(node, ()):
+            if neighbor in visited:
+                continue
+            candidate = d + 1
+            if candidate < dist.get(neighbor, 1 << 30):
+                dist[neighbor] = candidate
+                prev[neighbor] = node
+                heapq.heappush(heap, (candidate, neighbor))
+    if destination not in dist:
+        raise CSPFError(
+            f"no observed path {source} -> {destination} "
+            "(the view shows the destination unreachable)"
+        )
+    path = [destination]
+    while path[-1] != source:
+        path.append(prev[path[-1]])
+    return list(reversed(path))

@@ -183,6 +183,21 @@ class FastRerouteManager:
         protected.active = "primary"
         _note_lsp("frr-revert", name, detail="back on primary")
 
+    def refresh_ingress(self, name: str) -> int:
+        """Re-assert the ingress FTN steer for every protected path
+        headed at ``name`` (same active LSP; install clears stale
+        marks).  The delegation-fallback / controller-resync
+        counterpart to :meth:`RSVPTESignaler.refresh_node`.  Returns
+        the number of FTN entries rewritten."""
+        writes = 0
+        for key in sorted(self.protected):
+            protected = self.protected[key]
+            if protected.active_lsp.ingress != name:
+                continue
+            self._steer(protected, protected.active_lsp)
+            writes += 1
+        return writes
+
     def _steer(self, protected: ProtectedPath, lsp: LSP) -> None:
         """One FTN rewrite at the ingress: the whole switchover."""
         ingress_node = self.signaler.nodes[lsp.ingress]

@@ -43,6 +43,9 @@ class FECBinding:
     labels: Dict[str, int] = field(default_factory=dict)
     #: node -> next hop towards the egress
     next_hops: Dict[str, str] = field(default_factory=dict)
+    #: nodes that actually received an FTN entry for this FEC (the
+    #: LERs steering traffic onto it) -- what a per-node refresh needs
+    ingresses: List[str] = field(default_factory=list)
 
 
 class LDPProcess:
@@ -144,6 +147,7 @@ class LDPProcess:
             nh = binding.next_hops.get(name)
             if nh is None:
                 continue
+            binding.ingresses.append(name)
             downstream = binding.labels[nh]
             if downstream == IMPLICIT_NULL:
                 # adjacent to a PHP egress: no label at all
@@ -241,6 +245,61 @@ class LDPProcess:
                 fec, egress, php = binding.fec, binding.egress, binding.php
                 self.withdraw_fec(binding)
                 self.establish_fec(fec, egress, php)
+
+    def refresh_node(self, name: str) -> Tuple[int, int]:
+        """Rewrite one router's ILM/FTN entries in place from the
+        current bindings -- same labels, same next hops.
+
+        This is the delegation-fallback / controller-resync primitive:
+        a stale-marked table is refreshed entry by entry (install
+        clears the stale mark), so still-valid forwarding state never
+        leaves the data plane and anything dead stays stale for the
+        hold-timer flush.  Emits **no** events: the network-wide state
+        does not change, only this router's copy is reasserted.
+        Returns the number of (ILM, FTN) entries rewritten.
+        """
+        if name not in self.nodes:
+            raise KeyError(f"unknown node {name!r}")
+        node = self.nodes[name]
+        ilm_writes = ftn_writes = 0
+        for binding in self.bindings:
+            if (
+                name == binding.egress
+                and not binding.php
+                and name in binding.labels
+            ):
+                node.ilm.install(
+                    binding.labels[name], NHLFE(op=LabelOp.POP)
+                )
+                ilm_writes += 1
+            nh = binding.next_hops.get(name)
+            if nh is not None and name in binding.labels:
+                node.ilm.install(
+                    binding.labels[name],
+                    NHLFE(
+                        op=LabelOp.SWAP,
+                        out_label=binding.labels[nh],
+                        next_hop=nh,
+                    ),
+                )
+                ilm_writes += 1
+            if name in binding.ingresses and nh is not None:
+                downstream = binding.labels[nh]
+                if downstream == IMPLICIT_NULL:
+                    node.ftn.install(
+                        binding.fec, NHLFE(op=LabelOp.NOOP, next_hop=nh)
+                    )
+                else:
+                    node.ftn.install(
+                        binding.fec,
+                        NHLFE(
+                            op=LabelOp.PUSH,
+                            out_label=downstream,
+                            next_hop=nh,
+                        ),
+                    )
+                ftn_writes += 1
+        return ilm_writes, ftn_writes
 
     # -- graceful restart (RFC 3478 semantics) -----------------------
 

@@ -25,7 +25,6 @@ introduction asks of MPLS.
 
 from __future__ import annotations
 
-import random
 import zlib
 
 from dataclasses import dataclass, field, replace
@@ -39,6 +38,7 @@ from repro.control.overload import (
     PriorityControlQueue,
     classify_message,
 )
+from repro.control.retry import ReconnectBackoff
 from repro.control.routing import LinkStateDatabase
 from repro.mpls.fec import FEC
 from repro.mpls.label import LabelOp
@@ -448,9 +448,15 @@ class MessageLDPProcess:
         self.sessions_established: List[Tuple[float, str, str]] = []
         self._started = False
         # -- session-recovery policy (exponential backoff) ------------------
-        self.retry_initial = retry_initial
-        self.retry_max = retry_max
-        self.max_retries = max_retries
+        # the shared seeded policy (repro.control.retry): validates the
+        # jitter range and owns the per-session RNGs
+        self.backoff = ReconnectBackoff(
+            initial=retry_initial,
+            maximum=retry_max,
+            max_retries=max_retries,
+            jitter=retry_jitter,
+            seed=jitter_seed,
+        )
         #: (a, b) sorted pair -> {"attempt": n, "down_at": t}
         self._reconnecting: Dict[Tuple[str, str], Dict[str, float]] = {}
         self.sessions_lost: List[Tuple[float, str, str]] = []
@@ -458,12 +464,6 @@ class MessageLDPProcess:
         self.sessions_recovered: List[Tuple[float, str, str, float]] = []
         self.reconnect_attempts = 0
         self.reconnects_abandoned = 0
-        # -- seeded reconnect jitter (0 = exactly the legacy backoff) -------
-        if not (0.0 <= retry_jitter < 1.0):
-            raise ValueError("retry_jitter must be in [0, 1)")
-        self.retry_jitter = retry_jitter
-        self.jitter_seed = jitter_seed
-        self._jitter_rngs: Dict[Tuple[str, str], random.Random] = {}
         # -- adversarial security (None = legacy unauthenticated) -----------
         #: the run's :class:`repro.security.SecurityMonitor`, attached
         #: by its ``arm()``; with one attached (and authentication on)
@@ -623,6 +623,49 @@ class MessageLDPProcess:
                 tel.ldp_messages.labels(msg.kind.value).inc()
             self._control_arrive(msg)
 
+    def refresh_node(self, name: str) -> Tuple[int, int]:
+        """Rewrite one speaker's ILM/FTN entries in place from its
+        live protocol state (local labels + learned bindings + SPF).
+
+        The delegation-fallback / controller-resync primitive: install
+        clears stale marks, so still-valid forwarding state survives a
+        controller orphaning untouched while dead entries stay stale
+        for the flush.  Emits no events -- network-wide state does not
+        change.  Returns the number of (ILM, FTN) entries rewritten.
+        """
+        speaker = self.speakers[name]
+        node = speaker.node
+        ilm_writes = ftn_writes = 0
+        for fec_id in sorted(speaker.local_labels):
+            state = self.fecs.get(fec_id)
+            if state is None or state.withdrawn:
+                continue
+            label = speaker.local_labels[fec_id]
+            if name == state.egress:
+                node.ilm.install(label, NHLFE(op=LabelOp.POP))
+                ilm_writes += 1
+                continue
+            nh = speaker._next_hop_to_egress(state.egress)
+            if nh is None:
+                continue
+            label_in = speaker.bindings.get(fec_id, {}).get(nh)
+            if label_in is None:
+                continue
+            node.ilm.install(
+                label,
+                NHLFE(op=LabelOp.SWAP, out_label=label_in, next_hop=nh),
+            )
+            ilm_writes += 1
+            if node.is_edge:
+                node.ftn.install(
+                    state.fec,
+                    NHLFE(
+                        op=LabelOp.PUSH, out_label=label_in, next_hop=nh
+                    ),
+                )
+                ftn_writes += 1
+        return ilm_writes, ftn_writes
+
     # -- liveness (keepalive refresh + hold-timer expiry) -------------------
     def _liveness_tick(self) -> None:
         cfg = self.overload
@@ -729,24 +772,14 @@ class MessageLDPProcess:
             "down_at": self.scheduler.now,
         }
         self.scheduler.after(
-            self._jittered(key, self.retry_initial),
+            self.backoff.first_delay(key),
             lambda: self._try_reconnect(key),
         )
 
     def _jittered(self, key: Tuple[str, str], delay: float) -> float:
-        """Apply the seeded per-session jitter to a backoff delay.
-
-        With ``retry_jitter == 0`` (the default) the delay is returned
-        untouched, bit for bit -- legacy schedules stay byte-identical.
-        """
-        if not self.retry_jitter:
-            return delay
-        rng = self._jitter_rngs.get(key)
-        if rng is None:
-            salt = zlib.crc32(f"{key[0]}|{key[1]}".encode("utf-8"))
-            rng = random.Random((self.jitter_seed << 16) ^ salt)
-            self._jitter_rngs[key] = rng
-        return delay * (1.0 + self.retry_jitter * (2.0 * rng.random() - 1.0))
+        """Apply the seeded per-session jitter to a backoff delay
+        (delegates to the shared :class:`ReconnectBackoff` policy)."""
+        return self.backoff.jittered(key, delay)
 
     def _try_reconnect(self, key: Tuple[str, str]) -> None:
         pending = self._reconnecting.get(key)
@@ -755,7 +788,7 @@ class MessageLDPProcess:
         a, b = key
         attempt = int(pending["attempt"]) + 1
         pending["attempt"] = float(attempt)
-        if attempt > self.max_retries:
+        if self.backoff.exhausted(attempt):
             del self._reconnecting[key]
             self.reconnects_abandoned += 1
             return
@@ -772,11 +805,9 @@ class MessageLDPProcess:
             self.speakers[b].heard.discard(a)
             self.send(LDPMessage(MsgType.HELLO, a, b))
             self.send(LDPMessage(MsgType.HELLO, b, a))
-        delay = min(
-            self.retry_initial * (2.0 ** attempt), self.retry_max
-        )
         self.scheduler.after(
-            self._jittered(key, delay), lambda: self._try_reconnect(key)
+            self.backoff.next_delay(key, attempt),
+            lambda: self._try_reconnect(key),
         )
 
     # -- graceful restart (RFC 3478 semantics) ------------------------------

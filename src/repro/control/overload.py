@@ -69,6 +69,12 @@ _KIND_TO_CLASS: Dict[str, MessageClass] = {
     # TTL-exception punts are sheddable bulk by design: a flood of them
     # must never outrank the keepalives it is trying to starve
     "ttl-exception": MessageClass.SETUP,
+    # the PCE controller channel rides the same bounded queues: its
+    # keepalives are liveness, its read-backs and table writes are
+    # sheddable setup work
+    "ctrl-keepalive": MessageClass.LIVENESS,
+    "ctrl-read": MessageClass.SETUP,
+    "ctrl-write": MessageClass.SETUP,
 }
 
 

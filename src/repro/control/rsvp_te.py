@@ -446,6 +446,43 @@ class RSVPTESignaler:
         self.stats.refresh_messages += lsp.hops
         self._last_refresh[name] = now
 
+    def refresh_node(self, name: str) -> int:
+        """Rewrite one node's ILM entries in place from the signalled
+        LSP state -- same labels, same next hops, no RESV traffic.
+
+        The delegation-fallback / controller-resync primitive (install
+        clears RFC 3478 stale marks).  The ingress FTN is the FRR
+        manager's to refresh (:meth:`FastRerouteManager.refresh_ingress`)
+        since protection decides which LSP the FEC rides.  Returns the
+        number of entries rewritten.
+        """
+        writes = 0
+        for lsp_name in sorted(self.lsps):
+            lsp = self.lsps[lsp_name]
+            route = lsp.path
+            for i in range(1, len(route)):
+                if route[i] != name:
+                    continue
+                label = lsp.hop_labels[i - 1]
+                if label is None or label == IMPLICIT_NULL:
+                    continue
+                if i == len(route) - 1:
+                    self.nodes[name].ilm.install(
+                        label, NHLFE(op=LabelOp.POP)
+                    )
+                else:
+                    self.nodes[name].ilm.install(
+                        label,
+                        NHLFE(
+                            op=LabelOp.SWAP,
+                            out_label=lsp.hop_labels[i],
+                            next_hop=route[i + 1],
+                            cos=lsp.cos,
+                        ),
+                    )
+                writes += 1
+        return writes
+
     def expire_stale(self, now: float, hold_time: float = 90.0) -> List[str]:
         """Tear down LSPs not refreshed within ``hold_time``."""
         stale = [

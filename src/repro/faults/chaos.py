@@ -86,6 +86,9 @@ class ChaosRun:
     #: the armed TopologyObserver when the scenario carries a ``topo``
     #: key (and telemetry is on)
     topo: Any = None
+    #: the armed PCEController when the scenario carries a
+    #: ``controller`` key
+    controller: Any = None
 
 
 def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
@@ -214,6 +217,30 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         }
         security.arm()
 
+    controller = None
+    if scenario.controller is not None:
+        from repro.control.controller import ControllerConfig, PCEController
+
+        try:
+            controller_cfg = ControllerConfig.from_dict(
+                scenario.controller, horizon=scenario.duration
+            )
+        except ValueError as exc:
+            raise ScenarioError(str(exc))
+        controller = PCEController(
+            network,
+            controller_cfg,
+            ldp=ldp,
+            message_ldp=message_ldp,
+            frr=frr,
+            fec_specs=[
+                (PrefixFEC(flow.prefix), flow.ingress, flow.egress)
+                for flow in scenario.traffic
+            ],
+            seed=seed,
+        )
+        controller.start()
+
     injector = FaultInjector(
         network,
         ldp=ldp,
@@ -222,6 +249,7 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         detection_delay_s=scenario.detection_delay_s,
         seed=seed,
         security=security,
+        controller=controller,
     )
     schedule = injector.apply(scenario, seed)
     auditor = None
@@ -361,6 +389,7 @@ def build_run(scenario: Scenario, seed: int = 0) -> ChaosRun:
         alert_engine=alert_engine,
         security=security,
         topo=topo_observer,
+        controller=controller,
     )
 
 
@@ -601,6 +630,80 @@ def _security_section(run: ChaosRun) -> Dict[str, Any]:
     }
 
 
+def _controller_section(run: ChaosRun) -> Dict[str, Any]:
+    """The gated ``controller`` report section (scenario has the key).
+
+    Time-to-failover is how long the fastest crash-orphaned node took
+    to detect the loss (hold-timer expiry minus crash time);
+    time-to-readopt is the slowest resync (re-adoption minus the
+    restart/heal that made it possible).  ``fecs_blackholed`` is
+    cumulative over the run -- with delegation on it must stay zero.
+    """
+    pce = run.controller
+    failovers = [
+        {
+            "at": _round(f["at"]),
+            "node": f["node"],
+            "reason": f["reason"],
+            "detect_s": _round(f["detect_s"]),
+            "orphaned_fecs": f["orphaned_fecs"],
+            "delegated": f["delegated"],
+        }
+        for f in pce.failovers
+    ]
+    readopts = [
+        {
+            "at": _round(r["at"]),
+            "node": r["node"],
+            "reason": r["reason"],
+            "rewrites": r["rewrites"],
+            "restore_s": _round(r["restore_s"]),
+        }
+        for r in pce.readopts
+    ]
+    crash_detects = [
+        f["detect_s"] for f in pce.failovers if f["reason"] == "crash"
+    ]
+    restores = [r["restore_s"] for r in pce.readopts]
+    channels = [pce.channels[name] for name in sorted(pce.channels)]
+    drops_by_cause: Dict[str, int] = {}
+    for channel in channels:
+        for cause, count in channel.drops_by_cause.items():
+            drops_by_cause[cause] = drops_by_cause.get(cause, 0) + count
+    return {
+        "enabled": pce.config.enabled,
+        "delegation": pce.config.delegation,
+        "adoptions": len(pce.adoptions),
+        "crashes": pce.crashes,
+        "restarts": pce.restarts,
+        "failovers": failovers,
+        "readopts": readopts,
+        "time_to_failover_s": (
+            _round(min(crash_detects)) if crash_detects else None
+        ),
+        "time_to_readopt_s": _round(max(restores)) if restores else None,
+        "fecs_orphaned": len(pce.orphaned_ever),
+        "fecs_blackholed": len(pce.blackholed_ever),
+        "blackholed_fecs": sorted(pce.blackholed_ever),
+        "fecs_blackholed_final": len(pce.blackholed_now()),
+        "resync": {
+            "reads": pce.resync_reads,
+            "transactions": pce.resync_transactions,
+            "rewrites": pce.resync_rewrites,
+        },
+        "cspf": {
+            "paths_computed": pce.paths_computed,
+            "view_agreements": pce.view_agreements,
+        },
+        "channel": {
+            "rpcs": sum(c.rpcs for c in channels),
+            "replies": sum(c.replies for c in channels),
+            "timeouts": sum(c.timeouts for c in channels),
+            "drops_by_cause": dict(sorted(drops_by_cause.items())),
+        },
+    }
+
+
 def summarize(
     run: ChaosRun, processed: int, sink=None, recorder=None
 ) -> ChaosReport:
@@ -743,6 +846,8 @@ def summarize(
             "verified": run.topo.verified,
             "mismatches": run.topo.mismatches,
         }
+    if run.scenario.controller is not None and run.controller is not None:
+        report["controller"] = _controller_section(run)
     if injector.restarts:
         restarts = []
         for restart in injector.restarts:

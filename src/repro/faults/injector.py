@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.faults.scenario import (
+    CONTROLLER_KINDS,
     SECURITY_KINDS,
     FaultKind,
     FaultSpec,
@@ -137,6 +138,10 @@ class FaultInjector:
         Optional :class:`~repro.security.SecurityMonitor`; required by
         the adversarial fault kinds, which account every forged input
         through it (and are measured against its guards).
+    controller:
+        Optional :class:`~repro.control.controller.PCEController`;
+        required by the controller fault kinds, which crash it or cut
+        its per-node channels.
     """
 
     def __init__(
@@ -148,6 +153,7 @@ class FaultInjector:
         detection_delay_s: float = 1e-3,
         seed: int = 0,
         security=None,
+        controller=None,
     ) -> None:
         self.network = network
         self.scheduler = network.scheduler
@@ -155,6 +161,7 @@ class FaultInjector:
         self.message_ldp = message_ldp
         self.frr = frr
         self.security = security
+        self.controller = controller
         self.detection_delay_s = detection_delay_s
         self.rng = random.Random((seed << 4) ^ 0xB17F11B)
         self.records: List[FaultRecord] = []
@@ -179,6 +186,24 @@ class FaultInjector:
         return schedule
 
     def _validate(self, spec: FaultSpec, scenario: Scenario) -> None:
+        if spec.kind in CONTROLLER_KINDS:
+            if self.controller is None:
+                raise ScenarioError(
+                    f"{spec.kind.value} needs a PCE controller "
+                    "(scenario 'controller' key)"
+                )
+            if spec.kind is FaultKind.CONTROLLER_CRASH:
+                if spec.target != ("controller",):
+                    raise ScenarioError(
+                        "controller-crash targets the controller "
+                        "itself: use \"target\": [\"controller\"]"
+                    )
+            elif spec.target[0] not in self.network.nodes:
+                raise ScenarioError(
+                    f"controller-partition targets unknown node "
+                    f"{spec.target[0]!r}"
+                )
+            return
         for node in spec.target:
             if node not in self.network.nodes:
                 raise ScenarioError(
@@ -264,6 +289,10 @@ class FaultInjector:
             FaultKind.LDP_HIJACK: self._inject_ldp_hijack,
             FaultKind.XCONNECT_LEAK: self._inject_xconnect_leak,
             FaultKind.TTL_FLOOD: self._inject_ttl_flood,
+            FaultKind.CONTROLLER_CRASH: self._inject_controller_crash,
+            FaultKind.CONTROLLER_PARTITION: (
+                self._inject_controller_partition
+            ),
         }[spec.kind]
         handler(record)
         tel = get_telemetry()
@@ -294,6 +323,8 @@ class FaultInjector:
             FaultKind.LDP_HIJACK: self._heal_noop,
             FaultKind.XCONNECT_LEAK: self._heal_noop,
             FaultKind.TTL_FLOOD: self._heal_ttl_flood,
+            FaultKind.CONTROLLER_CRASH: self._heal_controller_crash,
+            FaultKind.CONTROLLER_PARTITION: self._heal_controller_partition,
         }[spec.kind](record)
         tel = get_telemetry()
         if tel.enabled:
@@ -962,6 +993,45 @@ class FaultInjector:
             self._recovered(record)
         # else finalize() back-fills from sessions_recovered
 
+    # -- controller faults ---------------------------------------------------
+    def _inject_controller_crash(self, record: FaultRecord) -> None:
+        if not self.controller.alive:
+            record.skipped = True
+            record.detail = "controller already down"
+            return
+        self.controller.crash()
+        record.detail = (
+            "controller down; adopted nodes will hold-timer out"
+            if self.controller.config.enabled
+            else "controller disabled; crash is bookkeeping only"
+        )
+
+    def _heal_controller_crash(self, record: FaultRecord) -> None:
+        self.controller.restart()
+        record.detail += "; warm restart, resync armed"
+        if not self.controller.config.enabled:
+            # a dark controller has nothing to resync: the heal is the
+            # whole recovery
+            self._recovered(record)
+        # else finalize() back-fills recovered_at from the readopts
+
+    def _inject_controller_partition(self, record: FaultRecord) -> None:
+        name = record.spec.target[0]
+        if self.controller.channels[name].partitioned:
+            record.skipped = True
+            record.detail = "channel already partitioned"
+            return
+        self.controller.cut(name)
+        record.detail = f"controller channel to {name} cut"
+
+    def _heal_controller_partition(self, record: FaultRecord) -> None:
+        name = record.spec.target[0]
+        self.controller.restore(name)
+        record.detail += "; channel restored, readopt pending"
+        if not self.controller.config.enabled:
+            self._recovered(record)
+        # else finalize() back-fills recovered_at from the readopts
+
     # -- timelines ----------------------------------------------------------
     def _mark_link(self, a: str, b: str, up: bool) -> None:
         key = (a, b) if a <= b else (b, a)
@@ -993,7 +1063,38 @@ class FaultInjector:
     def finalize(self) -> None:
         """Back-fill recovery times that are observed, not scheduled:
         an LDP session drop recovers whenever the process's backoff
-        machinery re-establishes the session."""
+        machinery re-establishes the session, and a controller fault
+        recovers whenever the PCE's reconnect loop re-adopts."""
+        if self.controller is not None:
+            readopts = list(self.controller.readopts)
+            all_nodes = sorted(self.controller.channels)
+            for record in self.records:
+                if record.recovered_at is not None or record.skipped:
+                    continue
+                if record.spec.kind is FaultKind.CONTROLLER_CRASH:
+                    # recovered once every node has been re-adopted
+                    # after the restart: the time of the last readopt
+                    restart_at = record.healed_at
+                    if restart_at is None:
+                        continue
+                    times: Dict[str, float] = {}
+                    for entry in readopts:
+                        if entry["at"] >= restart_at:
+                            times.setdefault(entry["node"], entry["at"])
+                    if all(n in times for n in all_nodes):
+                        record.recovered_at = max(times.values())
+                elif record.spec.kind is FaultKind.CONTROLLER_PARTITION:
+                    healed_at = record.healed_at
+                    if healed_at is None:
+                        continue
+                    target = record.spec.target[0]
+                    for entry in readopts:
+                        if (
+                            entry["node"] == target
+                            and entry["at"] >= healed_at
+                        ):
+                            record.recovered_at = entry["at"]
+                            break
         if self.message_ldp is None:
             return
         recovered = list(self.message_ldp.sessions_recovered)

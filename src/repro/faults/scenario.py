@@ -85,6 +85,8 @@ class FaultKind(str, Enum):
     LDP_HIJACK = "ldp-hijack"        #: forged LDP shutdown on a session
     XCONNECT_LEAK = "xconnect-leak"  #: ILM corruption leaking a FEC
     TTL_FLOOD = "ttl-flood"          #: low-TTL exception-path storm
+    CONTROLLER_CRASH = "controller-crash"  #: PCE dies, warm restarts
+    CONTROLLER_PARTITION = "controller-partition"  #: channel cut to one node
 
 
 #: kinds whose target is a link (two node names)
@@ -109,6 +111,17 @@ NODE_KINDS = frozenset(
         FaultKind.LABEL_SPOOF,
         FaultKind.XCONNECT_LEAK,
         FaultKind.TTL_FLOOD,
+    }
+)
+
+#: controller kinds: require the scenario's ``controller`` key so the
+#: fault has a PCE (armed or deliberately disabled) to act on.  The
+#: crash targets the literal node name ``"controller"``; the partition
+#: targets the one node whose channel is cut.
+CONTROLLER_KINDS = frozenset(
+    {
+        FaultKind.CONTROLLER_CRASH,
+        FaultKind.CONTROLLER_PARTITION,
     }
 )
 
@@ -182,6 +195,8 @@ FAULT_PARAMS: Dict[FaultKind, Dict[str, str]] = {
                   "(default 0.5)",
         "src": "spoofed source address (default 203.0.113.66)",
     },
+    FaultKind.CONTROLLER_CRASH: {},
+    FaultKind.CONTROLLER_PARTITION: {},
 }
 
 
@@ -391,6 +406,12 @@ class Scenario:
     #: None to run without the observer; gates the report's
     #: ``convergence`` section (older reports stay byte-identical)
     topo: Optional[Mapping[str, Any]] = None
+    #: centralized PCE controller configuration (see
+    #: :class:`repro.control.controller.ControllerConfig`), or None to
+    #: run pure distributed control; required by the controller fault
+    #: kinds and gates the report's ``controller`` section (older
+    #: reports stay byte-identical)
+    controller: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.control not in ("ldp", "ldp-messages", "frr"):
@@ -419,6 +440,23 @@ class Scenario:
                 f"'{names}' faults need a 'security' key: adversarial "
                 "faults are measured against the security monitor's "
                 "guards (set \"enabled\": false to run them unmitigated)"
+            )
+        controller_kinds = {
+            s.kind for s in self.faults if s.kind in CONTROLLER_KINDS
+        }
+        if self.random_faults is not None:
+            controller_kinds |= {
+                k
+                for k in self.random_faults.kinds
+                if k in CONTROLLER_KINDS
+            }
+        if controller_kinds and self.controller is None:
+            names = ", ".join(sorted(k.value for k in controller_kinds))
+            raise ScenarioError(
+                f"'{names}' faults need a 'controller' key: controller "
+                "faults act on the PCE and its node channels (set "
+                "\"enabled\": false to run them against a dark "
+                "controller)"
             )
 
     # -- construction -------------------------------------------------------
@@ -467,6 +505,11 @@ class Scenario:
             ),
             topo=(
                 dict(raw["topo"]) if raw.get("topo") is not None else None
+            ),
+            controller=(
+                dict(raw["controller"])
+                if raw.get("controller") is not None
+                else None
             ),
         )
 

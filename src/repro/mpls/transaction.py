@@ -24,7 +24,7 @@ rolls back automatically:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Union
+from typing import Iterable, List, Mapping, Union
 
 from repro.mpls.tables import FTN, ILM
 
@@ -33,6 +33,17 @@ Table = Union[ILM, FTN]
 
 class TableTransaction:
     """A shadow-bank transaction spanning several ILM/FTN tables."""
+
+    @classmethod
+    def for_nodes(cls, nodes: Mapping[str, object]) -> "TableTransaction":
+        """A transaction over every node's ILM and FTN, in sorted node
+        order -- the shape a centralized controller resync wants."""
+        tables: List[Table] = []
+        for name in sorted(nodes):
+            node = nodes[name]
+            tables.append(node.ilm)  # type: ignore[attr-defined]
+            tables.append(node.ftn)  # type: ignore[attr-defined]
+        return cls(tables)
 
     def __init__(self, tables: Iterable[Table]) -> None:
         # Dedup while preserving order: the same table may be listed

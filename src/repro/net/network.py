@@ -18,14 +18,27 @@ the edge LERs into one simulated MPLS domain:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.mpls.forwarding import Action
+from repro.mpls.label import IMPLICIT_NULL, LabelOp
 from repro.mpls.router import LSRNode, RouterRole, packet_ttl, stack_labels
 from repro.net.addressing import IPv4Prefix
 from repro.net.events import EventScheduler
 from repro.net.link import DropTailQueue, Interface, Link
 from repro.net.packet import IPv4Packet, MPLSPacket
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an import cycle
+    from repro.mpls.fec import FEC
 from repro.net.topology import Topology
 from repro.obs.events import PacketDelivered, PacketDropped
 from repro.obs.telemetry import get_telemetry
@@ -700,3 +713,70 @@ class MPLSNetwork:
 
     def drop_count(self) -> int:
         return sum(d.count for d in self.drops)
+
+    # -- control-plane reachability ------------------------------------------
+    def fec_trace(self, ingress: str, fec: FEC) -> Optional[List[str]]:
+        """Walk the active forwarding tables for ``fec`` from ``ingress``.
+
+        A pure control-plane traversal of the same ILM/FTN state the
+        data plane reads: follow the ingress FTN entry hop by hop
+        (PUSH/SWAP/POP/NOOP over up links and live nodes) until the
+        packet would be delivered at a LER attached to the FEC's
+        destination.  Returns the node path, or ``None`` when a packet
+        classified into ``fec`` would blackhole: no FTN entry, a dead
+        link or node on the way, a broken label chain, or a label loop.
+        The PCE controller uses this to account blackholed FECs without
+        injecting probe traffic.
+        """
+        if ingress not in self.nodes or ingress in self._down_nodes:
+            return None
+        entry = None
+        for candidate, nhlfe in self.nodes[ingress].ftn:
+            if candidate == fec:
+                entry = nhlfe
+                break
+        if entry is None or entry.next_hop is None:
+            return None
+        path = [ingress]
+        current = ingress
+        label = entry.out_label if entry.op is LabelOp.PUSH else None
+        next_hop = entry.next_hop
+        # bound generous enough for any simple path plus PHP hops; a
+        # walk that exceeds it can only be a label loop
+        for _ in range(4 * len(self.nodes)):
+            if next_hop is None or not self.link_is_up(current, next_hop):
+                return None
+            current = next_hop
+            path.append(current)
+            if current in self._down_nodes:
+                return None
+            if label is None or label == IMPLICIT_NULL:
+                # the packet arrives unlabelled (NOOP towards a PHP
+                # egress, or popped upstream): deliverable only at a
+                # LER attached to the FEC's destination
+                return path if self._fec_attached(current, fec) else None
+            nhlfe = self.nodes[current].ilm.get(label)
+            if nhlfe is None:
+                return None
+            if nhlfe.op is LabelOp.POP:
+                if nhlfe.next_hop is None:
+                    return (
+                        path if self._fec_attached(current, fec) else None
+                    )
+                label, next_hop = None, nhlfe.next_hop
+            elif nhlfe.op is LabelOp.SWAP:
+                label, next_hop = nhlfe.out_label, nhlfe.next_hop
+            else:
+                return None
+        return None  # label loop
+
+    def _fec_attached(self, node: str, fec: FEC) -> bool:
+        """Does ``node`` terminate ``fec``'s destination (host attach)?"""
+        prefix = getattr(fec, "prefix", None)
+        host = getattr(fec, "host", None)
+        for attached, _sink in self._hosts.get(node, []):
+            if prefix is not None and attached == prefix:
+                return True
+            if host is not None and attached.contains(host):
+                return True
+        return False

@@ -269,6 +269,38 @@ class InfoBaseScrubbed(Event):
     cycles: int = 0
 
 
+# -- centralized controller ---------------------------------------------------
+@dataclass
+class ControllerFailover(Event):
+    """A node's hold timer expired without hearing the PCE controller:
+    it fell back to distributed control (``delegated``) or was left
+    orphaned with stale-marked tables."""
+
+    kind: ClassVar[str] = "controller-failover"
+    node: str = ""
+    reason: str = ""  # "crash" / "partition"
+    delegated: bool = False
+    #: controller-programmed entries stale-marked at fallback
+    orphaned_fecs: int = 0
+    #: cause-to-detection latency (the failover headline number)
+    detect_s: float = 0.0
+
+
+@dataclass
+class ControllerReadopt(Event):
+    """The controller re-adopted a node after a crash restart or a
+    partition heal: one atomic resync transaction reconciled intended
+    vs. actual table state."""
+
+    kind: ClassVar[str] = "controller-readopt"
+    node: str = ""
+    reason: str = ""  # "crash" / "partition" / "adopt"
+    #: entries rewritten by the resync transaction
+    rewrites: int = 0
+    #: service-restorable (restart/heal) to re-adoption latency
+    restore_s: float = 0.0
+
+
 # -- adversarial security -----------------------------------------------------
 @dataclass
 class AttackDetected(Event):

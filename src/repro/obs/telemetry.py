@@ -338,6 +338,40 @@ class Telemetry:
             "Time from disruption to last dependent state change",
             ("kind",),
         )
+        # -- centralized controller -----------------------------------------
+        # registered unconditionally so the scrape schema is stable
+        # whether or not a PCE controller is armed for the run
+        self.controller_channel_depth = r.gauge(
+            "repro_controller_channel_depth",
+            "Bounded controller-channel queue depth, per node",
+            ("node",),
+        )
+        self.controller_channel_drops = r.counter(
+            "repro_controller_channel_drops_total",
+            "Controller RPCs lost to partition/crash/shedding, by cause",
+            ("node", "cause"),
+        )
+        self.controller_failovers = r.counter(
+            "repro_controller_failovers_total",
+            "Node hold-timer expiries against the controller, by reason",
+            ("reason",),
+        )
+        self.controller_delegations = r.counter(
+            "repro_controller_delegations_total",
+            "Graceful fallbacks to distributed control, per node",
+            ("node",),
+        )
+        self.controller_resyncs = r.counter(
+            "repro_controller_resync_transactions_total",
+            "Atomic resync transactions committed at re-adoption",
+            ("node",),
+        )
+        self.controller_adoption = r.gauge(
+            "repro_controller_adoption_state",
+            "Delegation state per node (0 distributed, 1 adopted, "
+            "2 orphaned)",
+            ("node",),
+        )
 
     # -- switch ------------------------------------------------------------
     def enable(self) -> "Telemetry":

@@ -61,6 +61,11 @@ _IGNORED_KINDS = frozenset(
         "control-shed",
         "fec-shed",
         "lsp-preempted",  # the lsp event stream carries preemptions too
+        # controller lifecycle: the PCE consumes the view, it does not
+        # feed it (its table writes are refresh-in-place and the
+        # distributed control plane remains the source of truth)
+        "controller-failover",
+        "controller-readopt",
     }
 )
 

@@ -48,6 +48,11 @@ CASES = [
     # topology observatory armed: the convergence ledger is derived
     # from the event stream, so it must match across modes too
     ("chaos_topo.json", 17),
+    # centralized PCE armed: crash + partition failover, delegation
+    # fallback and the readopt resync transaction all ride the same
+    # scheduler, so the controller section must match across modes
+    ("chaos_controller.json", 19),
+    ("chaos_controller.json", 29),
 ]
 
 

@@ -65,6 +65,26 @@ class TestEventJSONL:
         assert line["kind"] == "label-mapping-withdrawn"
         assert line["clock_domain"] == CLOCK_SIM
 
+    def test_controller_events_ride_the_v2_schema(self):
+        # PR 10's centralized-controller events joined after the bump:
+        # same envelope, sim clock domain, payload fields intact
+        from repro.obs.events import ControllerFailover, ControllerReadopt
+
+        [fail, readopt] = _event_lines(
+            ControllerFailover(node="lsr-1", reason="crash",
+                               delegated=True, orphaned_fecs=2,
+                               detect_s=0.09),
+            ControllerReadopt(node="lsr-1", reason="crash",
+                              rewrites=3, restore_s=0.08),
+        )
+        assert fail["v"] == readopt["v"] == 2
+        assert fail["kind"] == "controller-failover"
+        assert readopt["kind"] == "controller-readopt"
+        assert fail["clock_domain"] == CLOCK_SIM
+        assert readopt["clock_domain"] == CLOCK_SIM
+        assert fail["delegated"] is True and fail["orphaned_fecs"] == 2
+        assert readopt["rewrites"] == 3
+
     def test_round_trip_preserves_both_domains(self):
         sim = PacketForwarded(node="ler-a", uid=1, flow_id=7)
         hw = FSMTransition(fsm="modifier", src="IDLE", dst="SEARCH", cycle=42)
